@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks for the raw message layer: send/receive on
+//! the posted (zero-copy) and unexpected (buffered) paths, matching cost
+//! with selective receives, and msgtest/testany.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chant_comm::{kind, testany, Address, CommWorld, RecvSpec};
+
+fn bench_posted_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm/posted_path");
+    for size in [64usize, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let world = CommWorld::flat(2);
+            let src = world.endpoint(Address::new(0, 0));
+            let dst = world.endpoint(Address::new(1, 0));
+            let body = Bytes::from(vec![7u8; size]);
+            b.iter(|| {
+                let h = dst.irecv(RecvSpec::tag(1));
+                src.isend(Address::new(1, 0), 1, 0, kind::DATA, body.clone());
+                let (_, got) = h.take().unwrap();
+                got.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_unexpected_path(c: &mut Criterion) {
+    c.bench_function("comm/unexpected_path_1k", |b| {
+        let world = CommWorld::flat(2);
+        let src = world.endpoint(Address::new(0, 0));
+        let dst = world.endpoint(Address::new(1, 0));
+        let body = Bytes::from(vec![7u8; 1024]);
+        b.iter(|| {
+            src.isend(Address::new(1, 0), 1, 0, kind::DATA, body.clone());
+            let h = dst.irecv(RecvSpec::tag(1));
+            let (_, got) = h.take().unwrap();
+            got.len()
+        })
+    });
+}
+
+fn bench_msgtest(c: &mut Criterion) {
+    c.bench_function("comm/msgtest_pending", |b| {
+        let world = CommWorld::flat(2);
+        let dst = world.endpoint(Address::new(1, 0));
+        let h = dst.irecv(RecvSpec::tag(1));
+        b.iter(|| h.msgtest())
+    });
+}
+
+fn bench_testany(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm/testany_pending");
+    for n in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let world = CommWorld::flat(2);
+            let dst = world.endpoint(Address::new(1, 0));
+            let handles: Vec<_> = (0..n)
+                .map(|i| dst.irecv(RecvSpec::tag(i as i32)))
+                .collect();
+            let refs: Vec<_> = handles.iter().collect();
+            b.iter(|| testany(&refs))
+        });
+    }
+    g.finish();
+}
+
+fn bench_selective_match(c: &mut Criterion) {
+    // Many posted receives; the arriving message must find the right one.
+    c.bench_function("comm/match_among_64_posted", |b| {
+        let world = CommWorld::flat(2);
+        let src = world.endpoint(Address::new(0, 0));
+        let dst = world.endpoint(Address::new(1, 0));
+        b.iter(|| {
+            let handles: Vec<_> = (0..64).map(|i| dst.irecv(RecvSpec::tag(i))).collect();
+            // Deliver in reverse order so matching scans the list.
+            for i in (0..64).rev() {
+                src.isend(Address::new(1, 0), i, 0, kind::DATA, Bytes::new());
+            }
+            handles.iter().filter(|h| h.take().is_some()).count()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_posted_path,
+    bench_unexpected_path,
+    bench_msgtest,
+    bench_testany,
+    bench_selective_match
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The live analogue of the paper's Table-2 question: what does the
+//! Chant thread layer cost per message over the raw communication layer,
+//! on the real (in-memory) runtime rather than the calibrated simulator?
+//!
+//! Each sample runs a whole two-node cluster exchanging a fixed number of
+//! messages; dividing by the message count gives per-message cost. The
+//! raw-layer baseline moves the same bytes through bare endpoints.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chant_comm::{kind, Address, CommWorld, RecvSpec};
+use chant_core::{ChantCluster, ChanterId, NamingMode, PollingPolicy};
+
+const EXCHANGES: u32 = 200;
+
+fn bench_raw_baseline(c: &mut Criterion) {
+    c.bench_function("p2p/raw_layer_200_exchanges", |b| {
+        b.iter(|| {
+            let world = CommWorld::flat(2);
+            let a = world.endpoint(Address::new(0, 0));
+            let z = world.endpoint(Address::new(1, 0));
+            let t = std::thread::spawn(move || {
+                for _ in 0..EXCHANGES {
+                    let h = z.irecv(RecvSpec::tag(1));
+                    h.msgwait();
+                    h.take().unwrap();
+                    z.isend(Address::new(0, 0), 2, 0, kind::DATA, Bytes::new());
+                }
+            });
+            for _ in 0..EXCHANGES {
+                let h = a.irecv(RecvSpec::tag(2));
+                a.isend(Address::new(1, 0), 1, 0, kind::DATA, Bytes::new());
+                h.msgwait();
+                h.take().unwrap();
+            }
+            t.join().unwrap();
+        })
+    });
+}
+
+fn bench_chant_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p/chant_200_exchanges");
+    g.sample_size(10);
+    for policy in [
+        PollingPolicy::ThreadPolls,
+        PollingPolicy::SchedulerPollsPs,
+        PollingPolicy::SchedulerPollsWq,
+        PollingPolicy::SchedulerPollsWqTestany,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cluster = ChantCluster::builder()
+                        .pes(2)
+                        .policy(policy)
+                        .server(false)
+                        .build();
+                    cluster.run(|node| {
+                        let me = node.self_id();
+                        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+                        for _ in 0..EXCHANGES {
+                            if me.pe == 0 {
+                                node.send(peer, 1, b"x").unwrap();
+                                node.recv_tag(2).unwrap();
+                            } else {
+                                node.recv_tag(1).unwrap();
+                                node.send(peer, 2, b"x").unwrap();
+                            }
+                        }
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_naming_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p/naming_mode_200_exchanges");
+    g.sample_size(10);
+    for naming in [NamingMode::Communicator, NamingMode::TagOverload] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{naming:?}")),
+            &naming,
+            |b, &naming| {
+                b.iter(|| {
+                    let cluster = ChantCluster::builder()
+                        .pes(2)
+                        .naming(naming)
+                        .server(false)
+                        .build();
+                    cluster.run(|node| {
+                        let me = node.self_id();
+                        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+                        for _ in 0..EXCHANGES {
+                            if me.pe == 0 {
+                                node.send(peer, 1, b"x").unwrap();
+                                node.recv_tag(2).unwrap();
+                            } else {
+                                node.recv_tag(1).unwrap();
+                                node.send(peer, 2, b"x").unwrap();
+                            }
+                        }
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_baseline,
+    bench_chant_policies,
+    bench_naming_modes
+);
+criterion_main!(benches);

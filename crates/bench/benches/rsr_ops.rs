@@ -1,0 +1,68 @@
+//! Remote-service-request microbenchmarks: RPC round trip through the
+//! server thread, remote fetch/store, and remote thread create+join —
+//! the paper's §3.2/§3.3 machinery on the live runtime.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chant_comm::Address;
+use chant_core::ChantCluster;
+
+const CALLS: u32 = 100;
+
+fn bench_rpc_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsr");
+    g.sample_size(10);
+    g.bench_function("ping_100_roundtrips", |b| {
+        b.iter(|| {
+            let cluster = ChantCluster::builder().pes(2).build();
+            cluster.run(|node| {
+                if node.pe() == 0 {
+                    for _ in 0..CALLS {
+                        node.ping(Address::new(1, 0), b"x").unwrap();
+                    }
+                }
+            });
+        })
+    });
+    g.bench_function("remote_fetch_100", |b| {
+        b.iter(|| {
+            let cluster = ChantCluster::builder().pes(2).build();
+            cluster.run(|node| {
+                if node.pe() == 1 {
+                    node.local_store("k", b"value");
+                }
+                if node.pe() == 0 {
+                    // The store above may not have happened yet; seed it
+                    // ourselves remotely first (also exercises STORE).
+                    node.remote_store(Address::new(1, 0), "k", b"value").unwrap();
+                    for _ in 0..CALLS {
+                        node.remote_fetch(Address::new(1, 0), "k").unwrap();
+                    }
+                }
+            });
+        })
+    });
+    g.bench_function("remote_spawn_join_20", |b| {
+        b.iter(|| {
+            let cluster = ChantCluster::builder()
+                .pes(2)
+                .entry("noop", |_n, _| Bytes::new())
+                .build();
+            cluster.run(|node| {
+                if node.pe() == 0 {
+                    for _ in 0..20 {
+                        let id = node
+                            .remote_spawn(Address::new(1, 0), "noop", b"")
+                            .unwrap();
+                        node.remote_join(id).unwrap();
+                    }
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc_roundtrip);
+criterion_main!(benches);

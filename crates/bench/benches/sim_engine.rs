@@ -1,0 +1,47 @@
+//! Simulator throughput: how fast the discrete-event engine replays the
+//! paper's workloads (events are cheap; full table sweeps run in
+//! milliseconds, which is what makes the reproduction interactive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chant_core::PollingPolicy;
+use chant_sim::experiments::{pingpong_once, polling_run, PollingConfig};
+use chant_sim::{CostModel, LayerMode};
+
+fn bench_polling_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/figure9_workload");
+    for policy in [
+        PollingPolicy::ThreadPolls,
+        PollingPolicy::SchedulerPollsPs,
+        PollingPolicy::SchedulerPollsWq,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let cost = CostModel::paragon_polling();
+                let cfg = PollingConfig::default();
+                b.iter(|| polling_run(cost, policy, 1_000, 100, cfg).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pingpong_sim(c: &mut Criterion) {
+    c.bench_function("sim/pingpong_10k_exchanges", |b| {
+        let cost = CostModel::paragon_pingpong();
+        b.iter(|| {
+            pingpong_once(
+                cost,
+                LayerMode::Chant(PollingPolicy::ThreadPolls),
+                1024,
+                10_000,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_polling_workload, bench_pingpong_sim);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks for the thread package: the operations the
+//! paper's Table 1 compares (thread create, context switch), plus
+//! block/unblock and the schedule-point hook overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chant_ult::{NullHook, SpawnAttr, Vp, VpConfig};
+
+fn bench_create(c: &mut Criterion) {
+    c.bench_function("ult/spawn_join_1_thread", |b| {
+        b.iter(|| {
+            let vp = Vp::new(VpConfig::named("b"));
+            let h = vp.spawn(SpawnAttr::new(), |_| 1u32);
+            vp.start();
+            h.join().unwrap()
+        })
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    // Cost per full context switch: two threads yield to each other N
+    // times; the measured run is dominated by handoffs.
+    c.bench_function("ult/context_switch_pair_1000_yields", |b| {
+        b.iter(|| {
+            let vp = Vp::new(VpConfig::named("b"));
+            for _ in 0..2 {
+                vp.spawn(SpawnAttr::new().detached(), |vp| {
+                    for _ in 0..1000 {
+                        vp.yield_now();
+                    }
+                });
+            }
+            vp.start();
+        })
+    });
+}
+
+fn bench_self_redispatch(c: &mut Criterion) {
+    // The paper's single-thread fast path: yield with nobody else ready.
+    c.bench_function("ult/self_redispatch_1000_yields", |b| {
+        b.iter(|| {
+            let vp = Vp::new(VpConfig::named("b"));
+            vp.spawn(SpawnAttr::new().detached(), |vp| {
+                for _ in 0..1000 {
+                    vp.yield_now();
+                }
+            });
+            vp.start();
+        })
+    });
+}
+
+fn bench_hook_overhead(c: &mut Criterion) {
+    // Scheduling with an installed (no-op) hook vs the switch benchmark
+    // quantifies the cost Chant's polling policies add per schedule point.
+    c.bench_function("ult/context_switch_with_null_hook", |b| {
+        b.iter(|| {
+            let vp = Vp::new(VpConfig::named("b"));
+            vp.install_hook(Arc::new(NullHook));
+            for _ in 0..2 {
+                vp.spawn(SpawnAttr::new().detached(), |vp| {
+                    for _ in 0..1000 {
+                        vp.yield_now();
+                    }
+                });
+            }
+            vp.start();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_create,
+    bench_switch,
+    bench_self_redispatch,
+    bench_hook_overhead
+);
+criterion_main!(benches);

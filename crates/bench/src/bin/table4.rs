@@ -1,0 +1,13 @@
+//! Reproduce Table 4: the three polling algorithms at beta = 1000.
+
+use chant_bench::{paper, run_polling_table};
+
+fn main() {
+    run_polling_table(
+        "Table 4",
+        1000,
+        &paper::TABLE4_TP,
+        &paper::TABLE4_PS,
+        &paper::TABLE4_WQ,
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduce Table 5: the three polling algorithms at beta = 0.
+
+use chant_bench::{paper, run_polling_table};
+
+fn main() {
+    run_polling_table(
+        "Table 5",
+        0,
+        &paper::TABLE5_TP,
+        &paper::TABLE5_PS,
+        &paper::TABLE5_WQ,
+    );
+}

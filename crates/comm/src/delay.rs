@@ -1,0 +1,205 @@
+//! A latency-modelling transport: wall-clock delayed delivery.
+//!
+//! The default in-memory transport delivers synchronously, which is
+//! right for semantic tests but hides the phenomenon Chant exists for:
+//! message *flight time* that threads can hide behind computation. This
+//! module adds an optional per-world latency model — `α + β·n` wall
+//! nanoseconds per message, like a real interconnect — implemented by a
+//! background deliverer thread with a deadline queue. Per-(src, dst)
+//! FIFO ordering is preserved (messages on one link never overtake each
+//! other, as on a wormhole-routed network).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::header::{Address, Header};
+use crate::world::WorldInner;
+
+/// Affine wall-clock latency model: a message of `n` bytes spends
+/// `fixed_ns + n × per_byte_ns` nanoseconds in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-message flight time (ns).
+    pub fixed_ns: u64,
+    /// Additional flight time per payload byte (ns).
+    pub per_byte_ns: u64,
+}
+
+impl LatencyModel {
+    /// Flight time for an `n`-byte body.
+    pub fn flight(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(self.fixed_ns + bytes as u64 * self.per_byte_ns)
+    }
+}
+
+struct QueueEntry {
+    due: Instant,
+    seq: u64,
+    header: Header,
+    body: Bytes,
+}
+
+// Heap ordering: earliest due first, FIFO within a tie.
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct DelayState {
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    /// Last scheduled delivery per (src, dst): per-link FIFO floor.
+    link_floor: HashMap<(Address, Address), Instant>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// The deliverer: owns the deadline queue and the background thread.
+pub(crate) struct DelayLine {
+    model: LatencyModel,
+    state: Mutex<DelayState>,
+    cv: Condvar,
+}
+
+impl DelayLine {
+    /// Create the delay line and start its deliverer thread.
+    pub fn start(model: LatencyModel, world: Weak<WorldInner>) -> Arc<DelayLine> {
+        let line = Arc::new(DelayLine {
+            model,
+            state: Mutex::new(DelayState {
+                queue: BinaryHeap::new(),
+                link_floor: HashMap::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let line2 = Arc::clone(&line);
+        std::thread::Builder::new()
+            .name("chant-comm-delayline".into())
+            .spawn(move || line2.run(world))
+            .expect("spawn delay-line deliverer");
+        line
+    }
+
+    /// Enqueue a message for delayed delivery.
+    pub fn submit(&self, header: Header, body: Bytes) {
+        let now = Instant::now();
+        let mut due = now + self.model.flight(body.len());
+        let mut st = self.state.lock();
+        // Per-link FIFO: never schedule before an earlier message on the
+        // same (src, dst) link.
+        let key = (header.src, header.dst);
+        if let Some(floor) = st.link_floor.get(&key) {
+            if due < *floor {
+                due = *floor;
+            }
+        }
+        st.link_floor.insert(key, due);
+        st.seq += 1;
+        let seq = st.seq;
+        st.queue.push(Reverse(QueueEntry {
+            due,
+            seq,
+            header,
+            body,
+        }));
+        self.cv.notify_one();
+    }
+
+    /// Stop the deliverer (flushes nothing; pending messages are lost —
+    /// only used on world teardown).
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_one();
+    }
+
+    fn run(&self, world: Weak<WorldInner>) {
+        loop {
+            // Pop the next due entry, or sleep until one is due.
+            let entry = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    let now = Instant::now();
+                    match st.queue.peek() {
+                        Some(Reverse(e)) if e.due <= now => {
+                            break st.queue.pop().expect("peeked entry").0;
+                        }
+                        Some(Reverse(e)) => {
+                            let wait = e.due - now;
+                            self.cv.wait_for(&mut st, wait);
+                        }
+                        None => {
+                            self.cv.wait(&mut st);
+                        }
+                    }
+                }
+            };
+            match world.upgrade() {
+                Some(w) => w.endpoint(entry.header.dst).deliver(entry.header, entry.body),
+                None => return, // world is gone; stop delivering
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_time_is_affine() {
+        let m = LatencyModel {
+            fixed_ns: 1_000_000,
+            per_byte_ns: 10,
+        };
+        assert_eq!(m.flight(0), Duration::from_nanos(1_000_000));
+        assert_eq!(m.flight(100), Duration::from_nanos(1_001_000));
+    }
+
+    #[test]
+    fn queue_orders_by_due_then_seq() {
+        let t0 = Instant::now();
+        let mk = |due: Instant, seq: u64| {
+            Reverse(QueueEntry {
+                due,
+                seq,
+                header: Header {
+                    src: Address::new(0, 0),
+                    dst: Address::new(0, 0),
+                    tag: 0,
+                    ctx: 0,
+                    kind: 0,
+                    len: 0,
+                },
+                body: Bytes::new(),
+            })
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(t0 + Duration::from_millis(5), 2));
+        heap.push(mk(t0 + Duration::from_millis(1), 3));
+        heap.push(mk(t0 + Duration::from_millis(5), 1));
+        assert_eq!(heap.pop().unwrap().0.seq, 3);
+        assert_eq!(heap.pop().unwrap().0.seq, 1);
+        assert_eq!(heap.pop().unwrap().0.seq, 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Endpoints: the per-`(pe, process)` message queues and matching logic.
+//!
+//! Delivery follows the paper's efficiency argument (§3.1): "it is
+//! possible to avoid costly interrupts and buffer copies by registering
+//! the receive with the operating system before the message actually
+//! arrives. This allows the operating system to place the incoming
+//! message in the proper memory location upon arrival, rather than making
+//! a local copy of the message in a system buffer." Accordingly, an
+//! arriving message that matches a *posted* receive is moved straight
+//! into the receive's buffer (and counted in
+//! [`CommStats::posted_matches`]); only an *unexpected* message is parked
+//! in a system queue (counted in [`CommStats::unexpected_buffered`]).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::guard::assert_may_block;
+use crate::handle::{RecvHandle, RecvShared, SendHandle};
+use crate::header::{Address, Header, RecvSpec, ANY_TAG};
+use crate::stats::CommStats;
+use crate::world::WorldInner;
+
+struct PostedRecv {
+    spec: RecvSpec,
+    shared: Arc<RecvShared>,
+}
+
+#[derive(Default)]
+struct EndpointInner {
+    /// Receives posted and not yet matched, in posting order.
+    posted: VecDeque<PostedRecv>,
+    /// Messages that arrived with no matching posted receive, in arrival
+    /// order (the "system buffer" the zero-copy path avoids).
+    unexpected: VecDeque<(Header, Bytes)>,
+}
+
+/// One process's communication endpoint.
+pub struct Endpoint {
+    addr: Address,
+    inner: Mutex<EndpointInner>,
+    stats: Arc<CommStats>,
+    world: Weak<WorldInner>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(addr: Address, world: Weak<WorldInner>) -> Endpoint {
+        Endpoint {
+            addr,
+            inner: Mutex::new(EndpointInner::default()),
+            stats: Arc::new(CommStats::default()),
+            world,
+        }
+    }
+
+    /// This endpoint's `(pe, process)` address.
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// This endpoint's statistics counters.
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send (NX `isend`). For the in-memory transport the
+    /// returned handle is already complete: the body is refcounted, so
+    /// the caller's buffer is immediately reusable (locally blocking
+    /// semantics) and delivery happens before return.
+    pub fn isend(&self, dst: Address, tag: i32, ctx: u64, kind: u8, body: Bytes) -> SendHandle {
+        assert!(tag >= 0, "send tags must be non-negative (got {tag})");
+        let world = self
+            .world
+            .upgrade()
+            .expect("send on an endpoint whose CommWorld was dropped");
+        let header = Header {
+            src: self.addr,
+            dst,
+            tag,
+            ctx,
+            kind,
+            len: body.len() as u32,
+        };
+        CommStats::bump(&self.stats.sends);
+        CommStats::add(&self.stats.bytes_sent, body.len() as u64);
+        world.route(header, body);
+        SendHandle { complete: true }
+    }
+
+    /// Blocking send (NX `csend`): returns when the data being sent can
+    /// be modified. Must not be called from a user-level thread.
+    pub fn csend(&self, dst: Address, tag: i32, ctx: u64, kind: u8, body: Bytes) {
+        assert_may_block("csend");
+        CommStats::bump(&self.stats.blocking_waits);
+        self.isend(dst, tag, ctx, kind, body).msgwait();
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving
+    // ------------------------------------------------------------------
+
+    /// Nonblocking receive (NX `irecv`): register interest in the first
+    /// message matching `spec` and return a completion handle. If a
+    /// matching message is already waiting in the unexpected queue it is
+    /// claimed immediately.
+    pub fn irecv(&self, spec: RecvSpec) -> RecvHandle {
+        CommStats::bump(&self.stats.recvs_posted);
+        let shared = RecvShared::new();
+        let handle = RecvHandle {
+            shared: Arc::clone(&shared),
+            stats: Arc::clone(&self.stats),
+        };
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner
+            .unexpected
+            .iter()
+            .position(|(h, _)| spec.matches(h))
+        {
+            let (header, body) = inner.unexpected.remove(pos).expect("index just found");
+            CommStats::bump(&self.stats.unexpected_claimed);
+            shared.complete(header, body);
+        } else {
+            inner.posted.push_back(PostedRecv { spec, shared });
+        }
+        handle
+    }
+
+    /// Blocking receive (NX `crecv`): parks the calling OS thread until a
+    /// matching message is delivered. Must not be called from a
+    /// user-level thread (install a guard via
+    /// [`crate::set_blocking_guard`] to enforce this).
+    pub fn crecv(&self, spec: RecvSpec) -> (Header, Bytes) {
+        assert_may_block("crecv");
+        let h = self.irecv(spec);
+        h.msgwait();
+        h.take().expect("completed receive had no message")
+    }
+
+    /// Nonblocking probe (NX `iprobe`): is a matching message waiting in
+    /// the unexpected queue? Does not consume the message.
+    pub fn iprobe(&self, spec: RecvSpec) -> bool {
+        CommStats::bump(&self.stats.probes);
+        let inner = self.inner.lock();
+        inner.unexpected.iter().any(|(h, _)| spec.matches(h))
+    }
+
+    /// Number of receives posted but not yet matched.
+    pub fn outstanding_recvs(&self) -> usize {
+        self.inner.lock().posted.len()
+    }
+
+    /// Number of unexpected (buffered) messages waiting.
+    pub fn unexpected_len(&self) -> usize {
+        self.inner.lock().unexpected.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery (called by the transport with the sender's header)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn deliver(&self, header: Header, body: Bytes) {
+        debug_assert_eq!(header.dst, self.addr, "misrouted message");
+        debug_assert_ne!(header.tag, ANY_TAG, "wildcard tag in a sent header");
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.posted.iter().position(|p| p.spec.matches(&header)) {
+            let posted = inner.posted.remove(pos).expect("index just found");
+            CommStats::bump(&self.stats.posted_matches);
+            // Completing under the endpoint lock keeps per-sender FIFO
+            // ordering observable: a later message can never complete an
+            // earlier-posted matching receive first.
+            posted.shared.complete(header, body);
+        } else {
+            CommStats::bump(&self.stats.unexpected_buffered);
+            inner.unexpected.push_back((header, body));
+        }
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("addr", &self.addr).finish()
+    }
+}

@@ -1,0 +1,48 @@
+//! The blocking-call guard.
+//!
+//! Chant's design rule (paper §3.1): "only nonblocking communication
+//! primitives from the underlying communication system are utilized.
+//! This is to prevent a blocking call from suspending the entire
+//! process." The comm layer cannot know what a thread runtime looks
+//! like, so the runtime registers a predicate here; every blocking comm
+//! primitive consults it and panics if a user-level thread would have
+//! suspended its whole virtual processor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+type GuardFn = fn() -> bool;
+
+static GUARD: AtomicUsize = AtomicUsize::new(0);
+
+/// Register a predicate that returns `true` when the calling OS thread is
+/// currently executing a user-level thread. Blocking comm primitives
+/// panic when the predicate holds. Registering replaces any previous
+/// guard; passing the same function twice is idempotent.
+pub fn set_blocking_guard(f: GuardFn) {
+    GUARD.store(f as usize, Ordering::Release);
+}
+
+/// Assert that a blocking primitive may be used here.
+pub(crate) fn assert_may_block(what: &str) {
+    let raw = GUARD.load(Ordering::Acquire);
+    if raw != 0 {
+        // Safety: the value was stored from a `fn() -> bool` pointer.
+        let f: GuardFn = unsafe { std::mem::transmute::<usize, GuardFn>(raw) };
+        assert!(
+            !f(),
+            "blocking comm primitive `{what}` called from a user-level thread; \
+             this would suspend the whole virtual processor (Chant uses only \
+             nonblocking primitives from thread context, paper §3.1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_blocking_is_allowed() {
+        assert_may_block("test");
+    }
+}

@@ -1,0 +1,231 @@
+//! Completion handles for nonblocking operations.
+//!
+//! "When a non-blocking operation is performed, the communication system
+//! returns a 'handle' that can be used to check the completion of the
+//! operation at a later point in time" (paper §3.1). [`RecvHandle`] is
+//! that handle; [`RecvHandle::msgtest`] and [`RecvHandle::msgwait`] are
+//! NX's `msgtest`/`msgwait`, and [`testany`] is MPI's `MPI_TEST_ANY`.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::guard::assert_may_block;
+use crate::header::Header;
+use crate::stats::CommStats;
+
+#[derive(Default)]
+pub(crate) struct RecvState {
+    pub done: bool,
+    pub header: Option<Header>,
+    pub body: Option<Bytes>,
+}
+
+pub(crate) struct RecvShared {
+    pub state: Mutex<RecvState>,
+    pub cv: Condvar,
+}
+
+impl RecvShared {
+    pub fn new() -> Arc<RecvShared> {
+        Arc::new(RecvShared {
+            state: Mutex::new(RecvState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Deliver a message into this receive and mark it complete.
+    pub fn complete(&self, header: Header, body: Bytes) {
+        let mut st = self.state.lock();
+        debug_assert!(!st.done, "receive completed twice");
+        st.header = Some(header);
+        st.body = Some(body);
+        st.done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to an outstanding nonblocking receive.
+///
+/// Cloneable so that a polling policy (e.g. the PS algorithm's per-TCB
+/// pending request) can test the same receive the blocked thread owns.
+#[derive(Clone)]
+pub struct RecvHandle {
+    pub(crate) shared: Arc<RecvShared>,
+    pub(crate) stats: Arc<CommStats>,
+}
+
+impl RecvHandle {
+    /// Test for completion, counting one `msgtest` call (NX `msgdone`).
+    pub fn msgtest(&self) -> bool {
+        CommStats::bump(&self.stats.msgtests);
+        let done = self.shared.state.lock().done;
+        if !done {
+            CommStats::bump(&self.stats.msgtest_failures);
+        }
+        done
+    }
+
+    /// Completion status *without* counting a `msgtest` call. Used by
+    /// [`testany`] and by bookkeeping that the paper's counters must not
+    /// see (e.g. re-checking after a successful test).
+    pub fn is_complete(&self) -> bool {
+        self.shared.state.lock().done
+    }
+
+    /// Block the calling **OS thread** until completion (NX `msgwait`).
+    ///
+    /// # Panics
+    /// Panics if called from a user-level thread while a blocking guard
+    /// is installed — thread runtimes must poll instead (paper §3.1).
+    pub fn msgwait(&self) {
+        assert_may_block("msgwait");
+        CommStats::bump(&self.stats.blocking_waits);
+        let mut st = self.shared.state.lock();
+        while !st.done {
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Claim the delivered message. Returns `None` until completion, and
+    /// `None` again after the first successful claim.
+    pub fn take(&self) -> Option<(Header, Bytes)> {
+        let mut st = self.shared.state.lock();
+        if !st.done {
+            return None;
+        }
+        match (st.header.take(), st.body.take()) {
+            (Some(h), Some(b)) => {
+                CommStats::add(&self.stats.bytes_received, b.len() as u64);
+                Some((h, b))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RecvHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvHandle")
+            .field("done", &self.is_complete())
+            .finish()
+    }
+}
+
+/// Handle to a nonblocking send.
+///
+/// The in-memory transport delivers synchronously, so sends are complete
+/// (in the NX "locally blocking" sense: the buffer is reusable) as soon
+/// as `isend` returns; the handle exists for interface fidelity and for
+/// transports with deferred delivery.
+#[derive(Clone, Debug)]
+pub struct SendHandle {
+    pub(crate) complete: bool,
+}
+
+impl SendHandle {
+    /// Test for completion.
+    pub fn msgtest(&self) -> bool {
+        self.complete
+    }
+
+    /// Wait for completion (a no-op for the in-memory transport).
+    pub fn msgwait(&self) {}
+}
+
+/// MPI-style `MPI_TEST_ANY`: test a set of outstanding receives with a
+/// *single* call, returning the index of one completed receive, if any.
+///
+/// The Chant paper could not use this on NX ("on other systems, such as
+/// the Intel NX system Chant is currently using, this functionality is
+/// not supported", §4.2) and hypothesised that WQ polling would fare
+/// better with it; this function exists so that hypothesis can be tested.
+/// Exactly one `testany` call is counted (against the first handle's
+/// endpoint), however many requests are covered; the per-request probes
+/// are *not* counted as `msgtest` calls, which is the whole point.
+pub fn testany(handles: &[&RecvHandle]) -> Option<usize> {
+    let first = handles.first()?;
+    CommStats::bump(&first.stats.testany_calls);
+    handles.iter().position(|h| h.is_complete())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{kind, Address};
+
+    fn handle() -> RecvHandle {
+        RecvHandle {
+            shared: RecvShared::new(),
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    fn dummy_header(len: u32) -> Header {
+        Header {
+            src: Address::new(0, 0),
+            dst: Address::new(1, 0),
+            tag: 0,
+            ctx: 0,
+            kind: kind::DATA,
+            len,
+        }
+    }
+
+    #[test]
+    fn msgtest_counts_and_reports() {
+        let h = handle();
+        assert!(!h.msgtest());
+        assert!(!h.msgtest());
+        h.shared.complete(dummy_header(3), Bytes::from_static(b"abc"));
+        assert!(h.msgtest());
+        let s = h.stats.snapshot();
+        assert_eq!(s.msgtests, 3);
+        assert_eq!(s.msgtest_failures, 2);
+    }
+
+    #[test]
+    fn take_is_single_shot() {
+        let h = handle();
+        assert!(h.take().is_none());
+        h.shared.complete(dummy_header(2), Bytes::from_static(b"hi"));
+        let (hdr, body) = h.take().unwrap();
+        assert_eq!(hdr.len, 2);
+        assert_eq!(&body[..], b"hi");
+        assert!(h.take().is_none(), "second take must yield nothing");
+        assert_eq!(h.stats.snapshot().bytes_received, 2);
+    }
+
+    #[test]
+    fn msgwait_returns_after_completion() {
+        let h = handle();
+        let h2 = h.clone();
+        let t = std::thread::spawn(move || h2.msgwait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(!t.is_finished());
+        h.shared.complete(dummy_header(0), Bytes::new());
+        t.join().unwrap();
+        assert_eq!(h.stats.snapshot().blocking_waits, 1);
+    }
+
+    #[test]
+    fn testany_finds_a_completed_handle_with_one_counted_call() {
+        let a = handle();
+        let b = RecvHandle {
+            shared: RecvShared::new(),
+            stats: Arc::clone(&a.stats),
+        };
+        assert_eq!(testany(&[&a, &b]), None);
+        b.shared.complete(dummy_header(0), Bytes::new());
+        assert_eq!(testany(&[&a, &b]), Some(1));
+        let s = a.stats.snapshot();
+        assert_eq!(s.testany_calls, 2);
+        assert_eq!(s.msgtests, 0, "testany must not count per-request tests");
+    }
+
+    #[test]
+    fn testany_on_empty_slice_is_none() {
+        assert_eq!(testany(&[]), None);
+    }
+}

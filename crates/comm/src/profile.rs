@@ -1,0 +1,131 @@
+//! Capability profiles of real 1994 communication layers.
+//!
+//! The paper's §2.2 surveys the systems Chant targets — Intel NX, MPI,
+//! p4, PVM — and its design hinges on exactly two capability differences:
+//!
+//! * whether the header has a field that "can be used to represent
+//!   multiple entities within the same process" (MPI's communicator) —
+//!   without it, Chant must overload the tag field, halving the usable
+//!   tags (§3.1);
+//! * whether the layer can test *any* outstanding request in one call
+//!   (MPI's `MPI_TEST_ANY`) — without it, the WQ scheduler "needs to be
+//!   modified so that each outstanding request will be tested in turn"
+//!   (§4.2).
+//!
+//! A [`CommProfile`] captures those facts so the layers above can refuse
+//! configurations a given system could not support, instead of silently
+//! pretending (e.g. Communicator-mode naming on NX).
+
+use serde::{Deserialize, Serialize};
+
+/// What a communication layer can and cannot do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommProfile {
+    /// Short system name ("NX", "MPI", ...).
+    pub name: &'static str,
+    /// Header has a communicator-style context field able to name
+    /// entities within a process.
+    pub has_ctx_field: bool,
+    /// Layer provides a single-call test-any (`MPI_TEST_ANY`).
+    pub has_testany: bool,
+    /// Usable (non-negative) tag bits exposed to users.
+    pub tag_bits: u8,
+    /// Receives may select on the sending process (all four systems
+    /// could; kept explicit for completeness).
+    pub source_selective: bool,
+}
+
+impl CommProfile {
+    /// Intel NX (Paragon OSF/1): no context field, no test-any — the
+    /// system the paper's experiments ran on.
+    pub const NX: CommProfile = CommProfile {
+        name: "NX",
+        has_ctx_field: false,
+        has_testany: false,
+        tag_bits: 31,
+        source_selective: true,
+    };
+
+    /// MPI (1993 draft standard): communicators and `MPI_TEST_ANY`.
+    pub const MPI: CommProfile = CommProfile {
+        name: "MPI",
+        has_ctx_field: true,
+        has_testany: true,
+        tag_bits: 31,
+        source_selective: true,
+    };
+
+    /// p4: "most communication systems, such as p4, do not provide
+    /// explicit support for the addition of a thread identifier to the
+    /// message header" (§3.1).
+    pub const P4: CommProfile = CommProfile {
+        name: "p4",
+        has_ctx_field: false,
+        has_testany: false,
+        tag_bits: 31,
+        source_selective: true,
+    };
+
+    /// PVM 2.x: tag-addressed, no context field, no test-any.
+    pub const PVM: CommProfile = CommProfile {
+        name: "PVM",
+        has_ctx_field: false,
+        has_testany: false,
+        tag_bits: 31,
+        source_selective: true,
+    };
+
+    /// The native capability set of this crate's in-memory layer:
+    /// everything (it implements the MPI superset).
+    pub const NATIVE: CommProfile = CommProfile {
+        name: "native",
+        has_ctx_field: true,
+        has_testany: true,
+        tag_bits: 31,
+        source_selective: true,
+    };
+
+    /// All the 1994 systems the paper surveys.
+    pub const SURVEYED: [CommProfile; 4] = [
+        CommProfile::NX,
+        CommProfile::MPI,
+        CommProfile::P4,
+        CommProfile::PVM,
+    ];
+}
+
+impl std::fmt::Display for CommProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the point: pin the transcription
+    fn paper_capability_claims() {
+        assert!(!CommProfile::NX.has_testany, "§4.2: NX lacks msgtestany");
+        assert!(CommProfile::MPI.has_testany, "§4.2: MPI has MPI_TEST_ANY");
+        assert!(
+            !CommProfile::NX.has_ctx_field && !CommProfile::P4.has_ctx_field,
+            "§3.1: NX/p4 have no place for a thread id in the header"
+        );
+        assert!(
+            CommProfile::MPI.has_ctx_field,
+            "§3.1: MPI's communicator can carry the thread id"
+        );
+    }
+
+    #[test]
+    fn native_layer_is_a_superset() {
+        for p in CommProfile::SURVEYED {
+            // implication: if the surveyed system has it, native must too
+            assert!(!p.has_ctx_field || CommProfile::NATIVE.has_ctx_field);
+            assert!(!p.has_testany || CommProfile::NATIVE.has_testany);
+            assert!(CommProfile::NATIVE.tag_bits >= p.tag_bits);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The communication world: a process group of endpoints with an
+//! in-memory transport.
+//!
+//! This plays the role of NX on the Paragon (or an MPI communicator's
+//! process group): `pes × procs_per_pe` addressable endpoints with
+//! reliable, per-sender-FIFO delivery. Latency is not modelled here —
+//! semantic fidelity is this crate's job; the Paragon *cost* model lives
+//! in `chant-sim`.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::delay::{DelayLine, LatencyModel};
+use crate::endpoint::Endpoint;
+use crate::header::{Address, Header};
+use crate::stats::CommStatsSnapshot;
+
+pub(crate) struct WorldInner {
+    pes: u32,
+    procs_per_pe: u32,
+    endpoints: Vec<Arc<Endpoint>>,
+    delay: Option<Arc<DelayLine>>,
+}
+
+impl WorldInner {
+    /// Route a message: through the delay line when a latency model is
+    /// installed, otherwise deliver synchronously.
+    pub(crate) fn route(&self, header: Header, body: Bytes) {
+        match &self.delay {
+            Some(line) => line.submit(header, body),
+            None => self.endpoint(header.dst).deliver(header, body),
+        }
+    }
+}
+
+impl Drop for WorldInner {
+    fn drop(&mut self) {
+        if let Some(line) = &self.delay {
+            line.shutdown();
+        }
+    }
+}
+
+impl WorldInner {
+    pub(crate) fn rank(&self, addr: Address) -> usize {
+        assert!(
+            addr.pe < self.pes && addr.process < self.procs_per_pe,
+            "address {addr} outside world ({} PEs x {} procs)",
+            self.pes,
+            self.procs_per_pe
+        );
+        (addr.pe * self.procs_per_pe + addr.process) as usize
+    }
+
+    pub(crate) fn endpoint(&self, addr: Address) -> &Arc<Endpoint> {
+        &self.endpoints[self.rank(addr)]
+    }
+}
+
+/// A group of communicating processes (cf. the paper's Figure 3 "Process
+/// Management: create a process group / add a process").
+#[derive(Clone)]
+pub struct CommWorld {
+    inner: Arc<WorldInner>,
+}
+
+impl CommWorld {
+    /// Create a world of `pes` processing elements with `procs_per_pe`
+    /// processes each.
+    pub fn new(pes: u32, procs_per_pe: u32) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, None)
+    }
+
+    /// Create a world whose transport imposes wall-clock flight time on
+    /// every message (`fixed + per_byte × n` nanoseconds, per-link FIFO).
+    /// This makes the live runtime exhibit the latency the paper's
+    /// threads exist to hide.
+    pub fn with_latency(pes: u32, procs_per_pe: u32, model: LatencyModel) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, Some(model))
+    }
+
+    fn build(pes: u32, procs_per_pe: u32, model: Option<LatencyModel>) -> CommWorld {
+        assert!(pes > 0 && procs_per_pe > 0, "world must be non-empty");
+        let inner = Arc::new_cyclic(|weak| {
+            let mut endpoints = Vec::with_capacity((pes * procs_per_pe) as usize);
+            for pe in 0..pes {
+                for process in 0..procs_per_pe {
+                    endpoints.push(Arc::new(Endpoint::new(
+                        Address::new(pe, process),
+                        weak.clone(),
+                    )));
+                }
+            }
+            WorldInner {
+                pes,
+                procs_per_pe,
+                endpoints,
+                delay: model.map(|m| DelayLine::start(m, weak.clone())),
+            }
+        });
+        CommWorld { inner }
+    }
+
+    /// Whether this world models message flight time.
+    pub fn has_latency(&self) -> bool {
+        self.inner.delay.is_some()
+    }
+
+    /// A flat world: `n` PEs with one process each.
+    pub fn flat(n: u32) -> CommWorld {
+        CommWorld::new(n, 1)
+    }
+
+    /// Number of processing elements.
+    pub fn pes(&self) -> u32 {
+        self.inner.pes
+    }
+
+    /// Processes per processing element.
+    pub fn procs_per_pe(&self) -> u32 {
+        self.inner.procs_per_pe
+    }
+
+    /// Total number of endpoints.
+    pub fn len(&self) -> usize {
+        self.inner.endpoints.len()
+    }
+
+    /// Whether the world has no endpoints (never true; worlds are
+    /// non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.inner.endpoints.is_empty()
+    }
+
+    /// The endpoint at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside the world.
+    pub fn endpoint(&self, addr: Address) -> Arc<Endpoint> {
+        Arc::clone(self.inner.endpoint(addr))
+    }
+
+    /// All endpoint addresses, in rank order.
+    pub fn addresses(&self) -> Vec<Address> {
+        self.inner.endpoints.iter().map(|e| e.addr()).collect()
+    }
+
+    /// Sum of all endpoints' statistics (e.g. the paper's total `msgtest`
+    /// count across both PEs).
+    pub fn total_stats(&self) -> CommStatsSnapshot {
+        let mut total = CommStatsSnapshot::default();
+        for ep in &self.inner.endpoints {
+            let s = ep.stats().snapshot();
+            total.sends += s.sends;
+            total.recvs_posted += s.recvs_posted;
+            total.posted_matches += s.posted_matches;
+            total.unexpected_buffered += s.unexpected_buffered;
+            total.unexpected_claimed += s.unexpected_claimed;
+            total.msgtests += s.msgtests;
+            total.msgtest_failures += s.msgtest_failures;
+            total.testany_calls += s.testany_calls;
+            total.blocking_waits += s.blocking_waits;
+            total.probes += s.probes;
+            total.bytes_sent += s.bytes_sent;
+            total.bytes_received += s.bytes_received;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for CommWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommWorld")
+            .field("pes", &self.inner.pes)
+            .field("procs_per_pe", &self.inner.procs_per_pe)
+            .finish()
+    }
+}

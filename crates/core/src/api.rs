@@ -1,0 +1,140 @@
+//! The paper's Appendix-A interface, `pthread_chanter_*`.
+//!
+//! These free functions mirror the C prototypes of the paper's Figure 14
+//! as closely as safe Rust allows: the ambient node context comes from
+//! the calling Chant thread (in C it was the process), handles are typed
+//! instead of `int`, and errors are `Result`s instead of `errno`-style
+//! codes. Each function documents its C counterpart.
+//!
+//! Use these when porting Chant-era code; new Rust code should prefer the
+//! methods on [`ChantNode`].
+
+use bytes::Bytes;
+use chant_comm::Address;
+use chant_ult::Tid;
+
+use crate::error::ChantError;
+use crate::id::ChanterId;
+use crate::node::{ChantNode, ChantRecvHandle, ExitPayload, MsgInfo, RecvSrc};
+
+fn node() -> Result<std::sync::Arc<ChantNode>, ChantError> {
+    ChantNode::current().ok_or(ChantError::NotChantContext)
+}
+
+/// `pthread_chanter_t *pthread_chanter_self(void)` — the calling thread's
+/// global identifier.
+pub fn pthread_chanter_self() -> Result<ChanterId, ChantError> {
+    Ok(node()?.self_id())
+}
+
+/// `pthread_t pthread_chanter_pthread(...)` — extract the local thread id
+/// "which can then be used for any of the local thread operations
+/// provided by the underlying thread package".
+pub fn pthread_chanter_pthread(thread: &ChanterId) -> Tid {
+    thread.thread
+}
+
+/// `int pthread_chanter_pe(...)` — the processing element id, usable "to
+/// test if two threads occupy the same processing element".
+pub fn pthread_chanter_pe(thread: &ChanterId) -> u32 {
+    thread.pe
+}
+
+/// `int pthread_chanter_process(...)` — the process id, usable "to test
+/// if two threads ... exist in the same address space".
+pub fn pthread_chanter_process(thread: &ChanterId) -> u32 {
+    thread.process
+}
+
+/// `int pthread_chanter_equal(t1, t2)` — do two global ids name the same
+/// thread?
+pub fn pthread_chanter_equal(t1: &ChanterId, t2: &ChanterId) -> bool {
+    t1 == t2
+}
+
+/// `void pthread_chanter_yield(void)` — give up the processing element to
+/// the next ready thread.
+pub fn pthread_chanter_yield() -> Result<(), ChantError> {
+    node()?.yield_now();
+    Ok(())
+}
+
+/// `int pthread_chanter_create(thread, attr, start_routine, arg, pe,
+/// process)` — create a global thread on the given node. The start
+/// routine is named (it must be in the cluster's entry table), since Rust
+/// cannot ship function pointers across address spaces.
+pub fn pthread_chanter_create(
+    pe: u32,
+    process: u32,
+    entry: &str,
+    arg: &[u8],
+) -> Result<ChanterId, ChantError> {
+    node()?.remote_spawn(Address::new(pe, process), entry, arg)
+}
+
+/// `int pthread_chanter_join(thread, status)` — block until the thread
+/// exits and claim its exit value.
+pub fn pthread_chanter_join(thread: &ChanterId) -> Result<Bytes, ChantError> {
+    node()?.remote_join(*thread)
+}
+
+/// `int pthread_chanter_detach(thread)` — reclaim the thread's storage at
+/// exit instead of holding it for a joiner.
+pub fn pthread_chanter_detach(thread: &ChanterId) -> Result<(), ChantError> {
+    node()?.remote_detach(*thread)
+}
+
+/// `int pthread_chanter_cancel(thread)` — cause the thread to exit "as if
+/// it had called the pthread_chanter_exit routine".
+pub fn pthread_chanter_cancel(thread: &ChanterId) -> Result<(), ChantError> {
+    node()?.remote_cancel(*thread)
+}
+
+/// `void pthread_chanter_exit(value_ptr)` — terminate the calling thread,
+/// making `value` available to joiners.
+///
+/// # Panics
+/// Unwinds the calling thread by design; never returns.
+pub fn pthread_chanter_exit(value: &[u8]) -> ! {
+    std::panic::panic_any(ExitPayload(Bytes::copy_from_slice(value)))
+}
+
+/// `int pthread_chanter_send(type, buf, count, thread)` — locally
+/// blocking send to a global thread.
+pub fn pthread_chanter_send(tag: i32, buf: &[u8], thread: &ChanterId) -> Result<(), ChantError> {
+    node()?.send(*thread, tag, buf)
+}
+
+/// `int pthread_chanter_recv(type, buf, count, thread)` — blocking
+/// receive. `thread` selects the source (None = any); returns the message
+/// info and body rather than filling a caller buffer.
+pub fn pthread_chanter_recv(
+    tag: i32,
+    thread: Option<&ChanterId>,
+) -> Result<(MsgInfo, Bytes), ChantError> {
+    let src = thread.map_or(RecvSrc::Any, |t| RecvSrc::Thread(*t));
+    node()?.recv(src, Some(tag))
+}
+
+/// `int pthread_chanter_irecv(handle, type, buf, count, thread)` —
+/// nonblocking receive returning a completion handle.
+pub fn pthread_chanter_irecv(
+    tag: i32,
+    thread: Option<&ChanterId>,
+) -> Result<ChantRecvHandle, ChantError> {
+    let src = thread.map_or(RecvSrc::Any, |t| RecvSrc::Thread(*t));
+    node()?.irecv(src, Some(tag))
+}
+
+/// `int pthread_chanter_msgtest(handle)` — test an immediate receive for
+/// completion.
+pub fn pthread_chanter_msgtest(handle: &ChantRecvHandle) -> Result<bool, ChantError> {
+    Ok(node()?.msgtest(handle))
+}
+
+/// `int pthread_chanter_msgwait(handle)` — wait (cooperatively) for an
+/// immediate receive to complete.
+pub fn pthread_chanter_msgwait(handle: &ChantRecvHandle) -> Result<(), ChantError> {
+    node()?.msgwait(handle);
+    Ok(())
+}

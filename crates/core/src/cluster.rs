@@ -1,0 +1,418 @@
+//! Cluster assembly and execution.
+//!
+//! A [`ChantCluster`] hosts `pes × procs_per_pe` Chant nodes in one OS
+//! process: each node gets its own virtual processor (driven by its own
+//! OS thread) and its own communication endpoint — the same shape as the
+//! paper's experiments, which ran one process per Paragon node with a
+//! small thread library inside each.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use chant_comm::{CommProfile, CommStatsSnapshot, CommWorld, LatencyModel};
+use chant_ult::{Priority, SpawnAttr};
+
+use crate::error::ChantError;
+use crate::node::{ChantNode, EntryFn};
+use crate::naming::NamingMode;
+use crate::poll::PollingPolicy;
+use crate::rsr::{HandlerTable, RsrHandler, RsrRequest, SERVER_FN_USER_BASE};
+use crate::RecvSrc;
+
+/// Reserved control tags used by the cluster termination protocol.
+/// User code should avoid tags in `0xFF00..=0xFFFF`.
+const TAG_DONE: i32 = 0xFFFE;
+const TAG_SHUTDOWN: i32 = 0xFFFD;
+
+/// Builder for a [`ChantCluster`].
+pub struct ClusterBuilder {
+    pes: u32,
+    procs_per_pe: u32,
+    naming: NamingMode,
+    policy: PollingPolicy,
+    server: bool,
+    latency: Option<LatencyModel>,
+    profile: CommProfile,
+    entries: HashMap<String, EntryFn>,
+    handlers: HandlerTable,
+}
+
+impl ClusterBuilder {
+    fn new() -> ClusterBuilder {
+        ClusterBuilder {
+            pes: 2,
+            procs_per_pe: 1,
+            naming: NamingMode::default(),
+            policy: PollingPolicy::default(),
+            server: true,
+            latency: None,
+            profile: CommProfile::NATIVE,
+            entries: HashMap::new(),
+            handlers: HashMap::new(),
+        }
+    }
+
+    /// Number of processing elements (default 2).
+    pub fn pes(mut self, pes: u32) -> ClusterBuilder {
+        assert!(pes > 0, "cluster needs at least one PE");
+        self.pes = pes;
+        self
+    }
+
+    /// Processes per processing element (default 1).
+    pub fn procs_per_pe(mut self, procs: u32) -> ClusterBuilder {
+        assert!(procs > 0, "each PE needs at least one process");
+        self.procs_per_pe = procs;
+        self
+    }
+
+    /// Where thread names travel in message headers (default
+    /// [`NamingMode::Communicator`]).
+    pub fn naming(mut self, naming: NamingMode) -> ClusterBuilder {
+        self.naming = naming;
+        self
+    }
+
+    /// How blocked receives poll (default
+    /// [`PollingPolicy::SchedulerPollsPs`], the paper's best performer).
+    pub fn policy(mut self, policy: PollingPolicy) -> ClusterBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether each node runs a server thread for remote service
+    /// requests (default true). Without it, only point-to-point
+    /// communication and local operations work.
+    pub fn server(mut self, enabled: bool) -> ClusterBuilder {
+        self.server = enabled;
+        self
+    }
+
+    /// Impose wall-clock message flight time (default: none — delivery
+    /// is synchronous). With a latency model installed, the live runtime
+    /// exhibits the communication latency that talking threads exist to
+    /// hide behind computation (paper §1).
+    pub fn latency(mut self, model: LatencyModel) -> ClusterBuilder {
+        self.latency = Some(model);
+        self
+    }
+
+    /// Constrain the configuration to what a real 1994 communication
+    /// layer could support (default [`CommProfile::NATIVE`], i.e. no
+    /// constraint). `build` panics on combinations the profiled system
+    /// could not express — e.g. [`NamingMode::Communicator`] on NX (no
+    /// header field for the thread id, paper §3.1) or the WQ+`testany`
+    /// policy on anything without `MPI_TEST_ANY` (§4.2).
+    pub fn comm_profile(mut self, profile: CommProfile) -> ClusterBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Register a named thread entry function on every node, making it
+    /// remotely spawnable via [`ChantNode::remote_spawn`].
+    pub fn entry<F>(mut self, name: impl Into<String>, f: F) -> ClusterBuilder
+    where
+        F: Fn(&Arc<ChantNode>, Bytes) -> Bytes + Send + Sync + 'static,
+    {
+        self.entries.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Register a custom remote-service-request handler on every node.
+    /// `fn_id` must be at least [`SERVER_FN_USER_BASE`].
+    pub fn rsr_handler<F>(mut self, fn_id: u32, f: F) -> ClusterBuilder
+    where
+        F: Fn(&Arc<ChantNode>, RsrRequest) -> Result<Bytes, ChantError> + Send + Sync + 'static,
+    {
+        assert!(
+            fn_id >= SERVER_FN_USER_BASE,
+            "RSR ids below {SERVER_FN_USER_BASE} are reserved for built-ins"
+        );
+        let h: RsrHandler = Arc::new(f);
+        self.handlers.insert(fn_id, h);
+        self
+    }
+
+    /// Assemble the cluster.
+    ///
+    /// # Panics
+    /// Panics when the configuration exceeds the declared
+    /// [`CommProfile`]'s capabilities (see
+    /// [`ClusterBuilder::comm_profile`]).
+    pub fn build(self) -> ChantCluster {
+        // Capability validation against the declared comm layer.
+        if self.naming == NamingMode::Communicator {
+            assert!(
+                self.profile.has_ctx_field,
+                "{} has no header field for thread ids; use NamingMode::TagOverload                  (paper §3.1, 'the delivery issue')",
+                self.profile
+            );
+        }
+        if self.policy == PollingPolicy::SchedulerPollsWqTestany {
+            assert!(
+                self.profile.has_testany,
+                "{} has no msgtestany; use SchedulerPollsWq with per-request tests                  (paper §4.2)",
+                self.profile
+            );
+        }
+
+        // Enforce the paper's §3.1 rule from here on: blocking comm
+        // primitives must not be used from user-level thread context.
+        chant_comm::set_blocking_guard(chant_ult::is_ult_context);
+
+        let world = match self.latency {
+            Some(model) => CommWorld::with_latency(self.pes, self.procs_per_pe, model),
+            None => CommWorld::new(self.pes, self.procs_per_pe),
+        };
+        let entries = Arc::new(self.entries);
+        let handlers = Arc::new(self.handlers);
+        let mut nodes = Vec::new();
+        for pe in 0..self.pes {
+            for process in 0..self.procs_per_pe {
+                nodes.push(ChantNode::new(
+                    pe,
+                    process,
+                    world.clone(),
+                    self.naming,
+                    self.policy,
+                    Arc::clone(&entries),
+                    Arc::clone(&handlers),
+                ));
+            }
+        }
+        ChantCluster {
+            world,
+            nodes,
+            server: self.server,
+        }
+    }
+}
+
+/// A set of Chant nodes sharing one communication world.
+pub struct ChantCluster {
+    world: CommWorld,
+    nodes: Vec<Arc<ChantNode>>,
+    server: bool,
+}
+
+impl ChantCluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// All nodes, in `(pe, process)` rank order.
+    pub fn nodes(&self) -> &[Arc<ChantNode>] {
+        &self.nodes
+    }
+
+    /// The node at `(pe, process)`.
+    pub fn node(&self, pe: u32, process: u32) -> &Arc<ChantNode> {
+        &self.nodes[(pe * self.world.procs_per_pe() + process) as usize]
+    }
+
+    /// The shared communication world.
+    pub fn world(&self) -> &CommWorld {
+        &self.world
+    }
+
+    /// Run `main` on every node (as that node's main thread) and wait for
+    /// the whole cluster to finish. Returns per-node statistics.
+    ///
+    /// Shutdown protocol: each node's main runs `main`, then waits for
+    /// all locally spawned threads to finish, then takes part in a
+    /// cluster-wide completion barrier (plain Chant messages), and only
+    /// then is the node's server thread cancelled — so remote service
+    /// requests keep working until *every* node is quiescent.
+    ///
+    /// # Panics
+    /// Panics if any node's main panicked.
+    pub fn run<F>(&self, main: F) -> ClusterReport
+    where
+        F: Fn(&Arc<ChantNode>) + Send + Sync + 'static,
+    {
+        let main = Arc::new(main);
+        let started = Instant::now();
+        let n_nodes = self.nodes.len() as u32;
+        let server = self.server;
+
+        let mut os_threads = Vec::new();
+        for node in &self.nodes {
+            let node = Arc::clone(node);
+            let main = Arc::clone(&main);
+            os_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("chant-{}", node.address()))
+                    .spawn(move || {
+                        let server_tid = if server {
+                            let id = node.spawn(
+                                SpawnAttr::new().name("server").priority(Priority::NORMAL),
+                                |n| n.server_loop(),
+                            );
+                            node.server_tid
+                                .store(id.thread, std::sync::atomic::Ordering::Relaxed);
+                            Some(id.thread)
+                        } else {
+                            None
+                        };
+
+                        node.spawn(SpawnAttr::new().name("main"), move |n| {
+                            // Run the user's main; even if it panics, the
+                            // shutdown protocol must still execute or the
+                            // other nodes (and this VP's server) would hang.
+                            let result = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| main(n)),
+                            );
+                            run_shutdown_protocol(n, n_nodes, server_tid.is_some(), result.is_ok());
+                            if let Some(stid) = server_tid {
+                                let _ = n.vp().cancel(stid);
+                            }
+                            if let Err(p) = result {
+                                std::panic::resume_unwind(p);
+                            }
+                        });
+                        node.vp().start();
+                    })
+                    .expect("failed to spawn node driver thread"),
+            );
+        }
+
+        let mut panicked = Vec::new();
+        for (i, t) in os_threads.into_iter().enumerate() {
+            if t.join().is_err() {
+                panicked.push(i);
+            }
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            panicked.is_empty(),
+            "cluster node driver(s) panicked: ranks {panicked:?}"
+        );
+
+        // Surface unobserved panics (recorded in each node's exit table).
+        // A panic whose exit record was already claimed by a joiner is the
+        // joiner's to handle, not ours.
+        for node in &self.nodes {
+            let exits = node.exits.lock();
+            for (tid, rec) in exits.iter() {
+                if let crate::node::ExitOutcome::Panicked(msg) = &rec.outcome {
+                    if !rec.claimed {
+                        panic!(
+                            "thread {tid} on node {} panicked: {msg}",
+                            node.address()
+                        );
+                    }
+                }
+            }
+        }
+
+        ClusterReport {
+            elapsed,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeReport {
+                    pe: n.pe(),
+                    process: n.process(),
+                    sched: n.vp().stats().snapshot(),
+                    comm: n.endpoint().stats().snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The message-based completion barrier run by each node's main thread.
+///
+/// Node 0 collects a DONE from every other node, then broadcasts
+/// SHUTDOWN. Because the waits go through the normal polling machinery,
+/// each node's server thread stays fully responsive while the barrier is
+/// in progress.
+fn run_shutdown_protocol(node: &Arc<ChantNode>, n_nodes: u32, has_server: bool, quiesce: bool) {
+    // Quiesce locally first: wait for every thread except this main and
+    // the server to finish. Skipped when main panicked (its threads may
+    // be wedged); the barrier still runs so other nodes can finish.
+    let base = 1 + usize::from(has_server);
+    while quiesce && node.vp().live_threads() > base {
+        node.yield_now();
+    }
+    if n_nodes == 1 {
+        return;
+    }
+
+    let me = node.self_id();
+    let my_rank = node.pe() * node.world().procs_per_pe() + node.process();
+    let rank0 = crate::ChanterId::new(0, 0, me.thread);
+    if my_rank == 0 {
+        for _ in 1..n_nodes {
+            node.recv(RecvSrc::Any, Some(TAG_DONE))
+                .expect("termination barrier DONE receive failed");
+        }
+        for pe in 0..node.world().pes() {
+            for process in 0..node.world().procs_per_pe() {
+                if pe == 0 && process == 0 {
+                    continue;
+                }
+                // Main thread ids are identical on every node (same spawn
+                // order everywhere), so rank 0 can address them directly.
+                let dst = crate::ChanterId::new(pe, process, me.thread);
+                node.send(dst, TAG_SHUTDOWN, b"")
+                    .expect("termination barrier SHUTDOWN send failed");
+            }
+        }
+    } else {
+        node.send(rank0, TAG_DONE, b"")
+            .expect("termination barrier DONE send failed");
+        node.recv(RecvSrc::Thread(rank0), Some(TAG_SHUTDOWN))
+            .or_else(|_| node.recv(RecvSrc::Process(rank0.address()), Some(TAG_SHUTDOWN)))
+            .expect("termination barrier SHUTDOWN receive failed");
+    }
+}
+
+/// Statistics from one completed [`ChantCluster::run`].
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-node statistics, in rank order.
+    pub nodes: Vec<NodeReport>,
+}
+
+/// One node's statistics.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// Processing element id.
+    pub pe: u32,
+    /// Process id within the PE.
+    pub process: u32,
+    /// Scheduler counters (context switches, yields, ...).
+    pub sched: chant_ult::StatsSnapshot,
+    /// Communication counters (msgtests, sends, ...).
+    pub comm: CommStatsSnapshot,
+}
+
+impl ClusterReport {
+    /// Total complete context switches across all nodes (the paper's
+    /// "CtxSw" column).
+    pub fn total_full_switches(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sched.full_switches).sum()
+    }
+
+    /// Total `msgtest` calls across all nodes (the paper's "msgtest"
+    /// column).
+    pub fn total_msgtests(&self) -> u64 {
+        self.nodes.iter().map(|n| n.comm.msgtests).sum()
+    }
+
+    /// Total `msgtestany` calls across all nodes.
+    pub fn total_testany_calls(&self) -> u64 {
+        self.nodes.iter().map(|n| n.comm.testany_calls).sum()
+    }
+
+    /// Total partial switches across all nodes (PS policy).
+    pub fn total_partial_switches(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sched.partial_switches).sum()
+    }
+}

@@ -1,0 +1,286 @@
+//! Collective operations among talking threads.
+//!
+//! The paper positions Chant as the runtime layer for task-parallel
+//! extensions of High Performance Fortran ("task parallelism and shared
+//! data abstractions", §1). Those systems need group synchronisation and
+//! data movement among the cooperating threads, not just pairwise
+//! sends. This module provides the standard collectives — barrier,
+//! broadcast, reduce, all-reduce, gather — for an arbitrary set of
+//! global threads, built purely on Chant's point-to-point layer
+//! (binomial trees / dissemination patterns), so every wait goes through
+//! the node's polling policy and nothing ever blocks a processor.
+//!
+//! Tags in `0xFD00..=0xFDFF` are reserved for collective traffic; each
+//! [`ChantGroup`] takes a distinct `color` so independent groups (or
+//! consecutive collectives on one group) never cross-match.
+
+use bytes::Bytes;
+
+use crate::error::ChantError;
+use crate::id::ChanterId;
+use crate::node::{ChantNode, RecvSrc};
+
+/// Base of the reserved collective tag range.
+const COLLECTIVE_TAG_BASE: i32 = 0xFD00;
+
+/// A fixed, ordered set of global threads performing collectives
+/// together. Every member must construct the group with the *same*
+/// member list (ranks are positions in that list) and the same `color`.
+#[derive(Clone, Debug)]
+pub struct ChantGroup {
+    members: Vec<ChanterId>,
+    my_rank: usize,
+    color: u8,
+    /// Sequence number alternated per collective so back-to-back
+    /// operations on the same group cannot cross-match.
+    seq: std::cell::Cell<u8>,
+}
+
+impl ChantGroup {
+    /// Build the group from the calling thread's perspective.
+    ///
+    /// # Errors
+    /// Returns [`ChantError::NoSuchThread`] if the caller is not in
+    /// `members`.
+    pub fn new(
+        node: &ChantNode,
+        members: Vec<ChanterId>,
+        color: u8,
+    ) -> Result<ChantGroup, ChantError> {
+        assert!(!members.is_empty(), "a group needs members");
+        let me = node.self_id();
+        let my_rank = members
+            .iter()
+            .position(|m| *m == me)
+            .ok_or(ChantError::NoSuchThread(me))?;
+        Ok(ChantGroup {
+            members,
+            my_rank,
+            color,
+            seq: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The calling thread's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// The member at `rank`.
+    pub fn member(&self, rank: usize) -> ChanterId {
+        self.members[rank]
+    }
+
+    /// Tag for this collective round: distinct per (color, sequence,
+    /// phase) so rounds, phases, and independent groups cannot
+    /// cross-match. 2 bits of color, 3 of sequence, 4 of phase — barrier
+    /// rounds use the phase, bounding groups at 2^15 members.
+    fn tag(&self, phase: u32) -> i32 {
+        debug_assert!(phase < 16, "collective phase out of range");
+        let seq = u32::from(self.seq.get() & 0x7);
+        COLLECTIVE_TAG_BASE
+            + (u32::from(self.color & 0x3) | (seq << 2) | (phase << 5)) as i32
+    }
+
+    fn next_seq(&self) {
+        self.seq.set(self.seq.get().wrapping_add(1));
+    }
+
+    fn send(
+        &self,
+        node: &ChantNode,
+        rank: usize,
+        phase: u32,
+        data: &[u8],
+    ) -> Result<(), ChantError> {
+        node.send(self.members[rank], self.tag(phase), data)
+    }
+
+    fn recv_from(
+        &self,
+        node: &ChantNode,
+        rank: usize,
+        phase: u32,
+    ) -> Result<Bytes, ChantError> {
+        // Source selection by thread requires Communicator naming; fall
+        // back to process-level selection (tags disambiguate) otherwise.
+        let src = self.members[rank];
+        let result = node.recv(RecvSrc::Thread(src), Some(self.tag(phase)));
+        let (_, body) = match result {
+            Err(ChantError::SrcThreadSelectionUnsupported) => {
+                node.recv(RecvSrc::Process(src.address()), Some(self.tag(phase)))?
+            }
+            other => other?,
+        };
+        Ok(body)
+    }
+
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds; returns when every member
+    /// has entered the barrier.
+    pub fn barrier(&self, node: &ChantNode) -> Result<(), ChantError> {
+        let n = self.members.len();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let to = (self.my_rank + dist) % n;
+            let from = (self.my_rank + n - dist) % n;
+            self.send(node, to, round, b"")?;
+            self.recv_from(node, from, round)?;
+            dist *= 2;
+            round += 1;
+        }
+        self.next_seq();
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from `root`; every member returns the
+    /// payload.
+    pub fn bcast(
+        &self,
+        node: &ChantNode,
+        root: usize,
+        data: Option<&[u8]>,
+    ) -> Result<Bytes, ChantError> {
+        let n = self.members.len();
+        // Rotate ranks so the root is virtual rank 0 (canonical binomial
+        // broadcast): climb masks to find the parent, then fan out to
+        // children in decreasing mask order.
+        let vrank = (self.my_rank + n - root) % n;
+        let mut payload: Option<Bytes> = if self.my_rank == root {
+            Some(Bytes::copy_from_slice(
+                data.expect("root must supply the broadcast payload"),
+            ))
+        } else {
+            None
+        };
+
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent_v = vrank - mask;
+                payload = Some(self.recv_from(node, (parent_v + root) % n, 0)?);
+                break;
+            }
+            mask <<= 1;
+        }
+        let body = payload.expect("payload present after receive");
+        mask >>= 1;
+        while mask > 0 {
+            let child_v = vrank + mask;
+            if child_v < n {
+                self.send(node, (child_v + root) % n, 0, &body)?;
+            }
+            mask >>= 1;
+        }
+        self.next_seq();
+        Ok(body)
+    }
+
+    /// Binomial-tree reduction to `root` with a byte-payload combiner.
+    /// Every member contributes `data`; `root` receives the fold and
+    /// other members receive an empty buffer.
+    pub fn reduce(
+        &self,
+        node: &ChantNode,
+        root: usize,
+        data: &[u8],
+        combine: impl Fn(&[u8], &[u8]) -> Vec<u8>,
+    ) -> Result<Bytes, ChantError> {
+        let n = self.members.len();
+        let vrank = (self.my_rank + n - root) % n;
+        let mut acc = data.to_vec();
+
+        let mut bit = 1usize;
+        // Receive from children while our bit is unset; send to parent
+        // when it becomes our turn.
+        loop {
+            if bit >= n {
+                break; // we are virtual rank 0: done accumulating
+            }
+            if vrank & bit == 0 {
+                let child_v = vrank | bit;
+                if child_v < n {
+                    let got = self.recv_from(node, (child_v + root) % n, 1)?;
+                    acc = combine(&acc, &got);
+                }
+                bit <<= 1;
+            } else {
+                let parent_v = vrank & !bit;
+                self.send(node, (parent_v + root) % n, 1, &acc)?;
+                break;
+            }
+        }
+        self.next_seq();
+        if self.my_rank == root {
+            Ok(Bytes::from(acc))
+        } else {
+            Ok(Bytes::new())
+        }
+    }
+
+    /// Reduce-to-0 followed by broadcast: every member gets the fold.
+    pub fn allreduce(
+        &self,
+        node: &ChantNode,
+        data: &[u8],
+        combine: impl Fn(&[u8], &[u8]) -> Vec<u8>,
+    ) -> Result<Bytes, ChantError> {
+        let reduced = self.reduce(node, 0, data, combine)?;
+        if self.my_rank == 0 {
+            self.bcast(node, 0, Some(&reduced))
+        } else {
+            self.bcast(node, 0, None)
+        }
+    }
+
+    /// Gather every member's payload at `root`, in rank order. Non-root
+    /// members receive an empty vector.
+    pub fn gather(
+        &self,
+        node: &ChantNode,
+        root: usize,
+        data: &[u8],
+    ) -> Result<Vec<Bytes>, ChantError> {
+        let n = self.members.len();
+        if self.my_rank == root {
+            let mut out = vec![Bytes::new(); n];
+            out[root] = Bytes::copy_from_slice(data);
+            for (r, slot) in out.iter_mut().enumerate() {
+                if r != root {
+                    *slot = self.recv_from(node, r, 2)?;
+                }
+            }
+            self.next_seq();
+            Ok(out)
+        } else {
+            self.send(node, root, 2, data)?;
+            self.next_seq();
+            Ok(Vec::new())
+        }
+    }
+
+    /// Convenience: all-reduce of little-endian `u64`s with a binary op.
+    pub fn allreduce_u64(
+        &self,
+        node: &ChantNode,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64 + Copy,
+    ) -> Result<u64, ChantError> {
+        let out = self.allreduce(node, &value.to_le_bytes(), move |a, b| {
+            let x = u64::from_le_bytes(a[..8].try_into().expect("8 bytes"));
+            let y = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+            op(x, y).to_le_bytes().to_vec()
+        })?;
+        Ok(u64::from_le_bytes(out[..8].try_into().expect("8 bytes")))
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the Chant layer.
+
+use std::fmt;
+
+use crate::id::ChanterId;
+
+/// Errors surfaced by Chant operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChantError {
+    /// A user tag is outside the range the active naming mode can carry
+    /// in the header. In `TagOverload` mode "the thread id would occupy
+    /// half of the tag field and the tag would occupy the other half"
+    /// (paper §3.1), so only 16 bits of user tag remain.
+    TagOutOfRange {
+        /// Offending tag.
+        tag: i32,
+        /// Inclusive maximum for the active naming mode.
+        max: i32,
+    },
+    /// A thread id is too large to pack into the tag field in
+    /// `TagOverload` mode.
+    ThreadIdOutOfRange {
+        /// Offending local thread id.
+        thread: u32,
+    },
+    /// A wildcard-tag receive was requested in `TagOverload` mode, where
+    /// the tag field also carries the destination thread id and NX-style
+    /// matching cannot express "my thread id with any user tag".
+    AnyTagUnsupported,
+    /// Selecting by *source thread* was requested in `TagOverload` mode,
+    /// where the source thread id does not appear in the header at all —
+    /// only `(pe, process)`-level source selection is possible. This is
+    /// the fidelity cost of the NX overloading approach.
+    SrcThreadSelectionUnsupported,
+    /// The destination names a `(pe, process)` outside the cluster.
+    NoSuchNode {
+        /// Offending destination.
+        dst: ChanterId,
+    },
+    /// A remote operation's target thread does not exist (never created
+    /// or already reaped).
+    NoSuchThread(ChanterId),
+    /// A remote join found the exit value already claimed.
+    AlreadyJoined(ChanterId),
+    /// The remote spawn named an entry function that is not registered
+    /// in the cluster's entry table.
+    UnknownEntry(String),
+    /// The RSR named a function id with no registered handler.
+    UnknownRsrFunction(u32),
+    /// The remote side reported a failure; the payload is its message.
+    Remote(String),
+    /// The target thread panicked; the payload is its message.
+    ThreadPanicked(String),
+    /// The target thread was cancelled before producing a value.
+    ThreadCancelled,
+    /// Operation requires a Chant thread context (`ChantNode::current`).
+    NotChantContext,
+    /// A malformed wire message was received (internal error or
+    /// version mismatch).
+    Wire(String),
+}
+
+impl fmt::Display for ChantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChantError::TagOutOfRange { tag, max } => {
+                write!(f, "tag {tag} outside 0..={max} for this naming mode")
+            }
+            ChantError::ThreadIdOutOfRange { thread } => {
+                write!(f, "thread id {thread} too large for tag overloading")
+            }
+            ChantError::AnyTagUnsupported => write!(
+                f,
+                "wildcard-tag receive unsupported in TagOverload naming mode"
+            ),
+            ChantError::SrcThreadSelectionUnsupported => write!(
+                f,
+                "source-thread selection unsupported in TagOverload naming mode \
+                 (source thread id is not in the header)"
+            ),
+            ChantError::NoSuchNode { dst } => write!(f, "no node at {dst}"),
+            ChantError::NoSuchThread(id) => write!(f, "no such thread {id}"),
+            ChantError::AlreadyJoined(id) => write!(f, "{id} already joined"),
+            ChantError::UnknownEntry(name) => write!(f, "unknown entry function '{name}'"),
+            ChantError::UnknownRsrFunction(id) => write!(f, "unknown RSR function {id}"),
+            ChantError::Remote(msg) => write!(f, "remote error: {msg}"),
+            ChantError::ThreadPanicked(msg) => write!(f, "thread panicked: {msg}"),
+            ChantError::ThreadCancelled => write!(f, "thread was cancelled"),
+            ChantError::NotChantContext => {
+                write!(f, "operation requires a Chant thread context")
+            }
+            ChantError::Wire(msg) => write!(f, "malformed wire message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_data() {
+        let e = ChantError::TagOutOfRange { tag: 70000, max: 65535 };
+        assert!(e.to_string().contains("70000"));
+        assert!(ChantError::UnknownEntry("f".into()).to_string().contains("'f'"));
+        assert!(ChantError::NoSuchThread(ChanterId::new(1, 0, 3))
+            .to_string()
+            .contains("thread 3"));
+    }
+}

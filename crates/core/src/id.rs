@@ -1,0 +1,111 @@
+//! Global thread identifiers.
+//!
+//! "Chant uses a 3-tuple to identify global threads, composed of a
+//! processing element identifier (pe), a process identifier, and a local
+//! thread identifier" (paper §3.1). The local component keeps the type of
+//! the underlying thread package's id ([`chant_ult::Tid`]), which is what
+//! lets global threads "behave normally with respect to the underlying
+//! thread package for operations not concerned with global threads".
+
+use chant_comm::Address;
+use chant_ult::Tid;
+
+/// A global thread name: the paper's `pthread_chanter_t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChanterId {
+    /// Processing element identifier (`pthread_chanter_pe`).
+    pub pe: u32,
+    /// Process identifier within the PE (`pthread_chanter_process`).
+    pub process: u32,
+    /// Local thread identifier (`pthread_chanter_pthread`): the
+    /// underlying package's thread id, usable directly for any purely
+    /// local thread operation.
+    pub thread: Tid,
+}
+
+impl ChanterId {
+    /// Construct a global thread id from its three components.
+    pub fn new(pe: u32, process: u32, thread: Tid) -> ChanterId {
+        ChanterId {
+            pe,
+            process,
+            thread,
+        }
+    }
+
+    /// The `(pe, process)` part: which address space the thread lives in.
+    pub fn address(&self) -> Address {
+        Address::new(self.pe, self.process)
+    }
+
+    /// Do two ids name the same thread (`pthread_chanter_equal`)?
+    pub fn equal(&self, other: &ChanterId) -> bool {
+        self == other
+    }
+
+    /// Do the two threads share a processing element (and therefore
+    /// possibly physical shared memory)? Cf. the paper's rationale for
+    /// `pthread_chanter_pe`.
+    pub fn same_pe(&self, other: &ChanterId) -> bool {
+        self.pe == other.pe
+    }
+
+    /// Do the two threads share an address space? Cf. the paper's
+    /// rationale for `pthread_chanter_process`.
+    pub fn same_process(&self, other: &ChanterId) -> bool {
+        self.pe == other.pe && self.process == other.process
+    }
+}
+
+impl std::fmt::Display for ChanterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "<pe {}, proc {}, thread {}>",
+            self.pe, self.process, self.thread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_components() {
+        let id = ChanterId::new(3, 1, 42);
+        assert_eq!(id.pe, 3);
+        assert_eq!(id.process, 1);
+        assert_eq!(id.thread, 42);
+        assert_eq!(id.address(), Address::new(3, 1));
+    }
+
+    #[test]
+    fn equality_is_componentwise() {
+        let a = ChanterId::new(0, 0, 1);
+        assert!(a.equal(&ChanterId::new(0, 0, 1)));
+        assert!(!a.equal(&ChanterId::new(0, 0, 2)));
+        assert!(!a.equal(&ChanterId::new(0, 1, 1)));
+        assert!(!a.equal(&ChanterId::new(1, 0, 1)));
+    }
+
+    #[test]
+    fn locality_predicates() {
+        let a = ChanterId::new(2, 0, 1);
+        let same_proc = ChanterId::new(2, 0, 9);
+        let same_pe = ChanterId::new(2, 1, 9);
+        let remote = ChanterId::new(3, 0, 1);
+        assert!(a.same_process(&same_proc));
+        assert!(a.same_pe(&same_pe));
+        assert!(!a.same_process(&same_pe));
+        assert!(!a.same_pe(&remote));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            ChanterId::new(1, 0, 7).to_string(),
+            "<pe 1, proc 0, thread 7>"
+        );
+    }
+}

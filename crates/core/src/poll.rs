@@ -1,0 +1,365 @@
+//! The three polling policies for blocking receives (paper §3.1, §4.2).
+//!
+//! "Although Chant supports, at the user interface, both blocking and
+//! nonblocking message operations, only nonblocking communication
+//! primitives from the underlying communication system are utilized"
+//! (§3.1). A blocking receive therefore posts a nonblocking receive and
+//! arranges — via one of these policies — to be resumed when it
+//! completes, while other ready threads use the processor:
+//!
+//! * [`PollingPolicy::ThreadPolls`] — the paper's Figure 5: the blocked
+//!   thread stays on the ready queue and re-tests its own request every
+//!   time it is scheduled. Works with *any* thread package (no scheduler
+//!   modification), at the cost of a full context switch per failed test.
+//! * [`PollingPolicy::SchedulerPollsWq`] — the paper's Figure 6 with a
+//!   *waiting queue*: the thread registers its request with the scheduler
+//!   and blocks; the scheduler tests **every** outstanding request at
+//!   each schedule point (NX has no `msgtestany`, so each is a separate
+//!   `msgtest` call).
+//! * [`PollingPolicy::SchedulerPollsPs`] — *partial switch*: the request
+//!   lives in the thread's TCB; the scheduler tests it only when that TCB
+//!   is the next dispatch candidate, requeueing on failure without
+//!   restoring the context.
+//! * [`PollingPolicy::SchedulerPollsWqTestany`] — the paper's §4.2
+//!   hypothesis: WQ "as originally intended, with a single msgtestany
+//!   call rather than a test for each individual message", possible on
+//!   MPI-class layers.
+
+use std::sync::Arc;
+
+use chant_comm::{testany, RecvHandle};
+use serde::{Deserialize, Serialize};
+use chant_ult::{current_tid, Priority, SchedulerHook, Tid, Vp};
+use parking_lot::Mutex;
+
+/// Which algorithm resumes threads blocked on a receive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PollingPolicy {
+    /// Figure 5: each blocked thread polls for itself when scheduled.
+    ThreadPolls,
+    /// Figure 6 with a waiting queue: the scheduler tests every
+    /// outstanding request at each schedule point.
+    SchedulerPollsWq,
+    /// Partial switch: the scheduler tests the pending request in the
+    /// next candidate's TCB before completing the switch.
+    #[default]
+    SchedulerPollsPs,
+    /// WQ with a single MPI-style `msgtestany` call per schedule point.
+    SchedulerPollsWqTestany,
+}
+
+impl PollingPolicy {
+    /// All policies, in the order the paper discusses them.
+    pub const ALL: [PollingPolicy; 4] = [
+        PollingPolicy::ThreadPolls,
+        PollingPolicy::SchedulerPollsPs,
+        PollingPolicy::SchedulerPollsWq,
+        PollingPolicy::SchedulerPollsWqTestany,
+    ];
+
+    /// Short label used in reports (matches the paper's terminology).
+    pub fn label(self) -> &'static str {
+        match self {
+            PollingPolicy::ThreadPolls => "Thread polls",
+            PollingPolicy::SchedulerPollsWq => "Scheduler polls (WQ)",
+            PollingPolicy::SchedulerPollsPs => "Scheduler polls (PS)",
+            PollingPolicy::SchedulerPollsWqTestany => "Scheduler polls (WQ+testany)",
+        }
+    }
+
+    /// Whether this policy requires the ability to modify the scheduler.
+    /// The paper's portability argument: TP "can be applied to any
+    /// lightweight thread package"; the scheduler-polls variants cannot.
+    pub fn needs_scheduler_support(self) -> bool {
+        !matches!(self, PollingPolicy::ThreadPolls)
+    }
+}
+
+/// The waiting queue shared between blocking receives and the scheduler
+/// hook (WQ policies). "The scheduler polls method is based on a list of
+/// polling requests that are examined at each scheduling point" (§4.2).
+pub(crate) struct WqHook {
+    vp: Mutex<Option<Arc<Vp>>>,
+    entries: Mutex<Vec<(Tid, RecvHandle)>>,
+    use_testany: bool,
+}
+
+impl WqHook {
+    fn new(use_testany: bool) -> Arc<WqHook> {
+        Arc::new(WqHook {
+            vp: Mutex::new(None),
+            entries: Mutex::new(Vec::new()),
+            use_testany,
+        })
+    }
+
+    fn bind(&self, vp: &Arc<Vp>) {
+        *self.vp.lock() = Some(Arc::clone(vp));
+    }
+
+    fn register(&self, tid: Tid, handle: RecvHandle) {
+        self.entries.lock().push((tid, handle));
+    }
+
+    /// Number of requests currently waiting (used by tests and metrics).
+    #[allow(dead_code)]
+    pub fn waiting(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+impl SchedulerHook for WqHook {
+    fn at_schedule_point(&self) {
+        let Some(vp) = self.vp.lock().clone() else {
+            return;
+        };
+        let mut entries = self.entries.lock();
+        if entries.is_empty() {
+            return;
+        }
+        if self.use_testany {
+            // One msgtestany call per completed request (plus a final
+            // call returning "none"), instead of one msgtest per request.
+            loop {
+                let refs: Vec<&RecvHandle> = entries.iter().map(|(_, h)| h).collect();
+                match testany(&refs) {
+                    Some(i) => {
+                        let (tid, _) = entries.swap_remove(i);
+                        // Drop the thread's other wait-any entries so it
+                        // is woken exactly once.
+                        entries.retain(|(t, _)| *t != tid);
+                        let _ = vp.unblock(tid);
+                    }
+                    None => break,
+                }
+            }
+        } else {
+            // NX style: "each outstanding request will be tested in turn.
+            // This implies that all outstanding messages are checked at
+            // each context switch" (§4.2).
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].1.msgtest() {
+                    let (tid, _) = entries.swap_remove(i);
+                    // A thread may have registered several requests
+                    // (wait-any); drop its other entries so it is woken
+                    // exactly once.
+                    entries.retain(|(t, _)| *t != tid);
+                    let _ = vp.unblock(tid);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn wants_dispatch_check(&self) -> bool {
+        false
+    }
+}
+
+/// The partial-switch hook: pure pre-dispatch checking (the default
+/// [`SchedulerHook::before_dispatch`] implements the PS test-or-requeue).
+struct PsHook;
+
+impl SchedulerHook for PsHook {
+    fn at_schedule_point(&self) {}
+}
+
+/// Per-node polling machinery: installs the right scheduler hooks for a
+/// policy and implements the blocking-receive wait loops.
+pub(crate) struct PollEngine {
+    vp: Arc<Vp>,
+    policy: PollingPolicy,
+    wq: Option<Arc<WqHook>>,
+}
+
+impl PollEngine {
+    /// Create the engine and install the policy's hooks on `vp`.
+    pub fn install(vp: Arc<Vp>, policy: PollingPolicy) -> PollEngine {
+        let wq = match policy {
+            PollingPolicy::SchedulerPollsWq => Some(WqHook::new(false)),
+            PollingPolicy::SchedulerPollsWqTestany => Some(WqHook::new(true)),
+            PollingPolicy::SchedulerPollsPs => {
+                vp.install_hook(Arc::new(PsHook));
+                None
+            }
+            PollingPolicy::ThreadPolls => None,
+        };
+        if let Some(w) = &wq {
+            w.bind(&vp);
+            vp.install_hook(Arc::clone(w) as Arc<dyn SchedulerHook>);
+        }
+        PollEngine { vp, policy, wq }
+    }
+
+    pub fn policy(&self) -> PollingPolicy {
+        self.policy
+    }
+
+
+    /// Block the calling user-level thread until `handle` completes,
+    /// using the configured polling policy. Never blocks the VP.
+    pub fn wait(&self, handle: &RecvHandle) {
+        if handle.msgtest() {
+            return;
+        }
+        match self.policy {
+            PollingPolicy::ThreadPolls => {
+                // Figure 5: while (probe != true) yield.
+                loop {
+                    self.vp.yield_now();
+                    if handle.msgtest() {
+                        return;
+                    }
+                }
+            }
+            PollingPolicy::SchedulerPollsWq | PollingPolicy::SchedulerPollsWqTestany => {
+                // Figure 6: add probe request to scheduler table; yield.
+                let me = current_tid().expect("wait outside a user-level thread");
+                self.wq
+                    .as_ref()
+                    .expect("WQ policy without its hook")
+                    .register(me, handle.clone());
+                self.vp.block();
+                debug_assert!(
+                    handle.is_complete(),
+                    "WQ hook resumed a thread whose receive is incomplete"
+                );
+            }
+            PollingPolicy::SchedulerPollsPs => {
+                // §4.2: store the request in the TCB; the scheduler tests
+                // it before completing a switch to us.
+                let h = handle.clone();
+                self.vp
+                    .set_current_pending(Box::new(move || h.msgtest()));
+                self.vp.yield_now();
+                self.vp.take_current_pending();
+                debug_assert!(
+                    handle.is_complete(),
+                    "PS dispatch resumed a thread whose receive is incomplete"
+                );
+            }
+        }
+    }
+
+    /// Block the calling thread until *any* of `handles` completes,
+    /// returning the index of one completed receive (MPI `WAITANY` at
+    /// the Chant level). Uses the same policy machinery as
+    /// [`PollEngine::wait`].
+    pub fn wait_any(&self, handles: &[&RecvHandle]) -> usize {
+        assert!(!handles.is_empty(), "wait_any needs at least one handle");
+        // Eager first pass, as in Figures 5/6.
+        for (i, h) in handles.iter().enumerate() {
+            if h.msgtest() {
+                return i;
+            }
+        }
+        match self.policy {
+            PollingPolicy::ThreadPolls => loop {
+                self.vp.yield_now();
+                for (i, h) in handles.iter().enumerate() {
+                    if h.msgtest() {
+                        return i;
+                    }
+                }
+            },
+            PollingPolicy::SchedulerPollsWq | PollingPolicy::SchedulerPollsWqTestany => {
+                let me = current_tid().expect("wait_any outside a user-level thread");
+                let wq = self.wq.as_ref().expect("WQ policy without its hook");
+                for h in handles {
+                    wq.register(me, (*h).clone());
+                }
+                self.vp.block();
+                // The scan woke us for one completed request and dropped
+                // our other entries; find a completed one.
+                handles
+                    .iter()
+                    .position(|h| h.is_complete())
+                    .expect("WQ wait_any resumed with no completed receive")
+            }
+            PollingPolicy::SchedulerPollsPs => {
+                let owned: Vec<RecvHandle> = handles.iter().map(|h| (*h).clone()).collect();
+                self.vp.set_current_pending(Box::new(move || {
+                    owned.iter().any(|h| h.msgtest())
+                }));
+                self.vp.yield_now();
+                self.vp.take_current_pending();
+                handles
+                    .iter()
+                    .position(|h| h.is_complete())
+                    .expect("PS wait_any resumed with no completed receive")
+            }
+        }
+    }
+
+    /// Server-thread variant of [`PollEngine::wait`] implementing the
+    /// paper's priority rule (§3.2): the server waits at normal priority
+    /// but "assumes a higher scheduling priority than the computation
+    /// threads" the moment a request is in hand, "ensuring that it is
+    /// scheduled at the next context switch point".
+    pub fn wait_boosting(&self, handle: &RecvHandle) {
+        let me = current_tid().expect("wait outside a user-level thread");
+        match self.policy {
+            PollingPolicy::ThreadPolls => {
+                // The server must poll fairly (a permanently-HIGH ready
+                // thread would monopolize a TP scheduler), so it waits at
+                // NORMAL and boosts itself once the request has arrived.
+                let _ = self.vp.set_priority(me, Priority::NORMAL);
+                self.wait(handle);
+                let _ = self.vp.set_priority(me, Priority::HIGH);
+            }
+            _ => {
+                // Scheduler-polls policies park the server off the run
+                // path, so it can sit at HIGH the whole time: when its
+                // message arrives it is queued ahead of all computation
+                // threads — the "next context switch point" guarantee.
+                let _ = self.vp.set_priority(me, Priority::HIGH);
+                self.wait(handle);
+            }
+        }
+    }
+
+    /// Drop the server back to computation priority after handling a
+    /// request.
+    pub fn unboost(&self) {
+        if let Some(me) = current_tid() {
+            let _ = self.vp.set_priority(me, Priority::NORMAL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(PollingPolicy::ThreadPolls.label(), "Thread polls");
+        assert_eq!(
+            PollingPolicy::SchedulerPollsWq.label(),
+            "Scheduler polls (WQ)"
+        );
+        assert_eq!(
+            PollingPolicy::SchedulerPollsPs.label(),
+            "Scheduler polls (PS)"
+        );
+    }
+
+    #[test]
+    fn portability_classification() {
+        assert!(!PollingPolicy::ThreadPolls.needs_scheduler_support());
+        assert!(PollingPolicy::SchedulerPollsWq.needs_scheduler_support());
+        assert!(PollingPolicy::SchedulerPollsPs.needs_scheduler_support());
+        assert!(PollingPolicy::SchedulerPollsWqTestany.needs_scheduler_support());
+    }
+
+    #[test]
+    fn all_contains_each_once() {
+        let mut set = std::collections::HashSet::new();
+        for p in PollingPolicy::ALL {
+            assert!(set.insert(p));
+        }
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Remote service requests (paper §3.2).
+//!
+//! "Remote service request messages are distinguished from point-to-point
+//! messages in that the destination thread is not expecting the message."
+//! Since such messages arrive "unannounced", Chant introduces a **server
+//! thread** per process that repeatedly posts a nonblocking receive for
+//! any RSR-class message, waits using the normal polling machinery, and
+//! dispatches the decoded request to a handler — the paper's Figure 7,
+//! verbatim in structure:
+//!
+//! ```text
+//! repeat forever {
+//!     ireceive(remote-service-request-message-type);
+//!     if (probe(args) != true) { add probe request to scheduler table; yield; }
+//!     message = receive(args);
+//!     handler = unpack(message);
+//!     *handler(message);
+//! }
+//! ```
+//!
+//! No interrupts are used anywhere — interrupts would "disrupt the data
+//! and code caches" and "the MPI standard does not support
+//! interrupt-driven message passing" (§3.2). While a request is in hand
+//! the server runs at elevated priority, so replies go out "as soon as
+//! possible ... without having to interrupt a computation thread
+//! prematurely".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use chant_comm::{kind, Address, RecvSpec};
+use chant_ult::current_tid;
+
+use crate::error::ChantError;
+use crate::id::ChanterId;
+use crate::node::ChantNode;
+use crate::ops;
+use crate::wire::{decode_reply, decode_rsr, encode_reply, encode_rsr};
+
+/// Built-in RSR function ids (the paper's examples: remote thread
+/// creation §3.3, remote fetch, coherence management §3.2).
+pub(crate) mod fns {
+    /// Create a thread on the target node (remote `pthread_chanter_create`).
+    pub const CREATE: u32 = 1;
+    /// Join a thread on the target node; reply deferred until it exits.
+    pub const JOIN: u32 = 2;
+    /// Cancel a thread on the target node.
+    pub const CANCEL: u32 = 3;
+    /// Detach a thread on the target node.
+    pub const DETACH: u32 = 4;
+    /// Remote fetch from the node-local store.
+    pub const FETCH: u32 = 5;
+    /// Remote store into the node-local store (coherence-style update).
+    pub const STORE: u32 = 6;
+    /// Liveness/latency probe; echoes its argument.
+    pub const PING: u32 = 7;
+}
+
+/// First function id available to user-registered RSR handlers; smaller
+/// ids are reserved for the built-in global thread operations.
+pub const SERVER_FN_USER_BASE: u32 = 1000;
+
+/// A decoded remote service request, as seen by a user handler.
+#[derive(Clone, Debug)]
+pub struct RsrRequest {
+    /// The requesting global thread.
+    pub from: ChanterId,
+    /// Requested function id.
+    pub fn_id: u32,
+    /// Argument bytes (opaque to the runtime).
+    pub args: Bytes,
+}
+
+/// A user-registered request handler, run on the server thread. Its
+/// result is sent back to the requester (unless the request was posted
+/// fire-and-forget).
+pub type RsrHandler =
+    Arc<dyn Fn(&Arc<ChantNode>, RsrRequest) -> Result<Bytes, ChantError> + Send + Sync>;
+
+pub(crate) type HandlerTable = HashMap<u32, RsrHandler>;
+
+/// Per-node RSR state: the reply-token allocator.
+pub(crate) struct RsrState {
+    token: AtomicU32,
+}
+
+impl RsrState {
+    pub fn new() -> RsrState {
+        RsrState {
+            token: AtomicU32::new(0),
+        }
+    }
+
+    /// Allocate a reply token in `1..=0xFFFE` (0 means "no reply"; the
+    /// range fits the tag-overload user-tag space so replies can be
+    /// addressed in either naming mode).
+    pub fn next_token(&self) -> u32 {
+        self.token.fetch_add(1, Ordering::Relaxed) % 0xFFFE + 1
+    }
+}
+
+impl ChantNode {
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    /// Issue a remote service request and wait for its reply (a remote
+    /// procedure call). The reply receive is posted *before* the request
+    /// is sent, so the response always finds a posted buffer (zero-copy
+    /// path) and no completion can be missed.
+    pub fn rsr_call(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<Bytes, ChantError> {
+        let me = self.self_id();
+        let token = self.rsr.next_token();
+        let spec = self.naming().recv_spec(
+            RecvSpec::any().from(dst).kind(kind::RSR_REPLY),
+            me.thread,
+            None,
+            Some(token as i32),
+        )?;
+        let reply = self.endpoint().irecv(spec);
+        let body = encode_rsr(fn_id, token, me, args);
+        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
+        self.wait_handle(&reply);
+        let (_, payload) = reply
+            .take()
+            .ok_or_else(|| ChantError::Wire("completed RSR reply had no message".into()))?;
+        decode_reply(&payload)
+    }
+
+    /// Issue a fire-and-forget remote service request (no reply).
+    pub fn rsr_post(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<(), ChantError> {
+        let me = self.self_id();
+        let body = encode_rsr(fn_id, 0, me, args);
+        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
+        Ok(())
+    }
+
+    /// Send an RSR reply to a requester thread. Used by the server and
+    /// by deferred repliers (e.g. an exiting thread answering a join).
+    pub(crate) fn send_rsr_reply(
+        &self,
+        to: ChanterId,
+        token: u32,
+        result: &Result<Bytes, ChantError>,
+    ) {
+        let me = current_tid().unwrap_or(0);
+        let wire = self
+            .naming()
+            .encode(me, to.thread, token as i32)
+            .expect("reply token out of tag range (internal error)");
+        self.endpoint().isend(
+            to.address(),
+            wire.tag,
+            wire.ctx,
+            kind::RSR_REPLY,
+            encode_reply(result),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Server side
+    // ------------------------------------------------------------------
+
+    /// The server thread body (paper Figure 7). Runs until cancelled by
+    /// the cluster's shutdown protocol.
+    pub(crate) fn server_loop(self: &Arc<Self>) {
+        loop {
+            let handle = self.endpoint().irecv(RecvSpec::any().kind(kind::RSR));
+            // Wait with the configured polling policy; once a request is
+            // in hand the server holds elevated priority (§3.2).
+            self.engine().wait_boosting(&handle);
+            let Some((_, body)) = handle.take() else {
+                continue;
+            };
+            match decode_rsr(&body) {
+                Ok(env) => {
+                    let reply = ops::dispatch(self, &env);
+                    if env.reply_token != 0 {
+                        if let Some(result) = reply {
+                            self.send_rsr_reply(env.from, env.reply_token, &result);
+                        }
+                        // None: a built-in deferred the reply (e.g. JOIN).
+                    }
+                }
+                Err(e) => {
+                    // A malformed request cannot be answered (no envelope
+                    // to route a reply); drop it with a note.
+                    eprintln!("chant: dropping malformed RSR on {}: {e}", self.address());
+                }
+            }
+            self.engine().unboost();
+        }
+    }
+}

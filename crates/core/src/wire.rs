@@ -1,0 +1,248 @@
+//! Wire formats for remote service requests and cluster control traffic.
+//!
+//! Point-to-point *data* bodies are opaque user bytes — Chant never reads
+//! them (that is the zero-copy discipline of §3.1). RSR bodies, in
+//! contrast, are Chant's own protocol: "message = receive(args); handler
+//! = unpack(message)" (paper Figure 7). This module is that `unpack`.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::ChantError;
+use crate::id::ChanterId;
+
+/// Little-endian reader over a message body.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), ChantError> {
+        if self.buf.len() < n {
+            Err(ChantError::Wire(format!(
+                "truncated message: need {n} more bytes, have {}",
+                self.buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8, ChantError> {
+        self.need(1)?;
+        let v = self.buf[0];
+        self.buf = &self.buf[1..];
+        Ok(v)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, ChantError> {
+        self.need(4)?;
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    #[allow(dead_code)] // part of the symmetric reader API; used in tests
+    pub fn u64(&mut self) -> Result<u64, ChantError> {
+        self.need(8)?;
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], ChantError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub fn str(&mut self) -> Result<&'a str, ChantError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| ChantError::Wire(format!("invalid utf-8: {e}")))
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(self) -> &'a [u8] {
+        self.buf
+    }
+}
+
+/// Little-endian writer building a message body.
+pub(crate) struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer {
+            buf: BytesMut::with_capacity(64),
+        }
+    }
+
+    pub fn u8(mut self, v: u8) -> Writer {
+        self.buf.put_u8(v);
+        self
+    }
+
+    pub fn u32(mut self, v: u32) -> Writer {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    #[allow(dead_code)] // part of the symmetric writer API; used in tests
+    pub fn u64(mut self, v: u64) -> Writer {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    pub fn bytes(mut self, v: &[u8]) -> Writer {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    pub fn str(self, v: &str) -> Writer {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append raw trailing bytes (readable via [`Reader::rest`]).
+    pub fn raw(mut self, v: &[u8]) -> Writer {
+        self.buf.put_slice(v);
+        self
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RSR envelopes
+// ---------------------------------------------------------------------
+
+/// Decoded header of an RSR request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct RsrEnvelope {
+    pub fn_id: u32,
+    /// Reply token; 0 means fire-and-forget (no reply expected).
+    pub reply_token: u32,
+    /// Who asked (so deferred repliers know where to send).
+    pub from: ChanterId,
+    pub args: Bytes,
+}
+
+pub(crate) fn encode_rsr(fn_id: u32, reply_token: u32, from: ChanterId, args: &[u8]) -> Bytes {
+    Writer::new()
+        .u32(fn_id)
+        .u32(reply_token)
+        .u32(from.pe)
+        .u32(from.process)
+        .u32(from.thread)
+        .raw(args)
+        .finish()
+}
+
+pub(crate) fn decode_rsr(body: &Bytes) -> Result<RsrEnvelope, ChantError> {
+    let mut r = Reader::new(body);
+    let fn_id = r.u32()?;
+    let reply_token = r.u32()?;
+    let pe = r.u32()?;
+    let process = r.u32()?;
+    let thread = r.u32()?;
+    let args = Bytes::copy_from_slice(r.rest());
+    Ok(RsrEnvelope {
+        fn_id,
+        reply_token,
+        from: ChanterId::new(pe, process, thread),
+        args,
+    })
+}
+
+// ---------------------------------------------------------------------
+// RSR replies: status byte + payload
+// ---------------------------------------------------------------------
+
+pub(crate) const REPLY_OK: u8 = 0;
+pub(crate) const REPLY_ERR: u8 = 1;
+
+pub(crate) fn encode_reply(result: &Result<Bytes, ChantError>) -> Bytes {
+    match result {
+        Ok(payload) => Writer::new().u8(REPLY_OK).raw(payload).finish(),
+        Err(e) => Writer::new().u8(REPLY_ERR).str(&e.to_string()).finish(),
+    }
+}
+
+pub(crate) fn decode_reply(body: &Bytes) -> Result<Bytes, ChantError> {
+    let mut r = Reader::new(body);
+    match r.u8()? {
+        REPLY_OK => Ok(Bytes::copy_from_slice(r.rest())),
+        REPLY_ERR => Err(ChantError::Remote(r.str()?.to_string())),
+        other => Err(ChantError::Wire(format!("bad reply status {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_writer_roundtrip() {
+        let b = Writer::new()
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(0x0123_4567_89AB_CDEF)
+            .str("hello")
+            .bytes(&[1, 2, 3])
+            .raw(b"tail")
+            .finish();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.rest(), b"tail");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let b = Writer::new().u32(5).finish(); // claims 5 bytes, has none
+        let mut r = Reader::new(&b);
+        assert!(matches!(r.bytes(), Err(ChantError::Wire(_))));
+    }
+
+    #[test]
+    fn rsr_envelope_roundtrip() {
+        let from = ChanterId::new(1, 0, 9);
+        let body = encode_rsr(42, 7, from, b"argbytes");
+        let env = decode_rsr(&body).unwrap();
+        assert_eq!(env.fn_id, 42);
+        assert_eq!(env.reply_token, 7);
+        assert_eq!(env.from, from);
+        assert_eq!(&env.args[..], b"argbytes");
+    }
+
+    #[test]
+    fn reply_roundtrip_ok_and_err() {
+        let ok = encode_reply(&Ok(Bytes::from_static(b"value")));
+        assert_eq!(&decode_reply(&ok).unwrap()[..], b"value");
+
+        let err = encode_reply(&Err(ChantError::ThreadCancelled));
+        match decode_reply(&err) {
+            Err(ChantError::Remote(msg)) => assert!(msg.contains("cancelled")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_wire_error() {
+        let b = Writer::new().bytes(&[0xFF, 0xFE]).finish();
+        let mut r = Reader::new(&b);
+        assert!(matches!(r.str(), Err(ChantError::Wire(_))));
+    }
+}

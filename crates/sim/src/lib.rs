@@ -1,0 +1,51 @@
+//! # chant-sim: a calibrated discrete-event simulator for Chant's
+//! Paragon experiments
+//!
+//! The paper's evaluation ran on an Intel Paragon with the NX message
+//! layer — hardware and software we cannot run. This crate substitutes a
+//! **deterministic discrete-event simulator** whose entities execute the
+//! same polling-policy state machines as the live runtime
+//! ([`chant_core::PollingPolicy`]), against a cost model calibrated from
+//! the paper's own baseline measurements (see [`CostModel::paragon_pingpong`]
+//! and [`CostModel::paragon_polling`]).
+//!
+//! Two classes of output are produced:
+//!
+//! * **Structural counts** — context switches, `msgtest` calls, average
+//!   waiting threads. These are *not* calibrated: they emerge from
+//!   executing the policy state machines against the workload, exactly
+//!   as on the real machine. They are the honest core of the
+//!   reproduction (paper Tables 3–5, Figures 11–13).
+//! * **Times** — simulated microseconds/milliseconds, which follow from
+//!   the calibrated per-operation costs (Tables 2–5, Figures 8, 10).
+//!   Orderings and ratios are meaningful; absolute values are anchored
+//!   to the paper's own Process-mode baseline.
+//!
+//! Experiments are packaged in [`experiments`]: `pingpong` regenerates
+//! Table 2 / Figure 8 and `polling` regenerates Tables 3–5 /
+//! Figures 10–13, plus the paper's §4.2 `msgtestany` hypothesis.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cost;
+mod engine;
+pub mod experiments;
+mod metrics;
+pub mod sensitivity;
+mod trace;
+pub mod workloads;
+mod program;
+mod vp;
+
+pub use cost::CostModel;
+pub use engine::{Engine, SimError};
+pub use metrics::{RunMetrics, VpMetrics};
+pub use program::{LayerMode, SimOp, SimProgram, ThreadSpec};
+pub use trace::{Trace, TraceEvent, TraceKind};
+
+/// Simulated time in nanoseconds.
+pub type Ns = u64;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,125 @@
+//! Simulation metrics: exactly the quantities the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Ns;
+
+/// Counters and integrals for one simulated VP.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct VpMetrics {
+    /// Complete context switches ("CtxSw" in Tables 3–5).
+    pub full_switches: u64,
+    /// Partial switches (PS policy TCB peeks that requeued).
+    pub partial_switches: u64,
+    /// Same-thread re-dispatches (no context switch).
+    pub redispatches: u64,
+    /// Schedule points.
+    pub sched_points: u64,
+    /// `msgtest` calls attempted.
+    pub msgtest_attempted: u64,
+    /// `msgtest` calls that failed (Figure 12 plots these).
+    pub msgtest_failed: u64,
+    /// `msgtestany` calls (WQ+testany ablation).
+    pub testany_calls: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received (claimed by a receive).
+    pub recvs: u64,
+    /// Time-weighted integral of the number of threads waiting on an
+    /// outstanding receive (∫ waiting · dt, in ns·threads); divided by
+    /// the run time it gives Figure 13's "average waiting threads".
+    pub waiting_integral: u128,
+    /// Simulated ns this VP spent idle (nothing ready, waiting for a
+    /// message).
+    pub idle_ns: Ns,
+}
+
+/// Aggregated metrics for one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Total simulated time: the latest VP completion (ns).
+    pub total_ns: Ns,
+    /// Per-VP metrics.
+    pub vps: Vec<VpMetrics>,
+}
+
+impl RunMetrics {
+    /// Total simulated milliseconds (the unit of Tables 3–5).
+    pub fn time_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Total simulated microseconds (the unit of Table 2).
+    pub fn time_us(&self) -> f64 {
+        self.total_ns as f64 / 1e3
+    }
+
+    fn sum(&self, f: impl Fn(&VpMetrics) -> u64) -> u64 {
+        self.vps.iter().map(f).sum()
+    }
+
+    /// Total complete context switches across VPs.
+    pub fn full_switches(&self) -> u64 {
+        self.sum(|v| v.full_switches)
+    }
+
+    /// Total partial switches across VPs.
+    pub fn partial_switches(&self) -> u64 {
+        self.sum(|v| v.partial_switches)
+    }
+
+    /// Total `msgtest` calls attempted across VPs.
+    pub fn msgtest_attempted(&self) -> u64 {
+        self.sum(|v| v.msgtest_attempted)
+    }
+
+    /// Total failed `msgtest` calls across VPs.
+    pub fn msgtest_failed(&self) -> u64 {
+        self.sum(|v| v.msgtest_failed)
+    }
+
+    /// Total `msgtestany` calls across VPs.
+    pub fn testany_calls(&self) -> u64 {
+        self.sum(|v| v.testany_calls)
+    }
+
+    /// Total messages sent.
+    pub fn sends(&self) -> u64 {
+        self.sum(|v| v.sends)
+    }
+
+    /// Total messages received.
+    pub fn recvs(&self) -> u64 {
+        self.sum(|v| v.recvs)
+    }
+
+    /// Average number of threads waiting on outstanding receives, over
+    /// all VPs and the whole run (Figure 13).
+    pub fn avg_waiting_threads(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        let integral: u128 = self.vps.iter().map(|v| v.waiting_integral).sum();
+        integral as f64 / self.total_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_vps() {
+        let mut m = RunMetrics {
+            total_ns: 2_000_000,
+            vps: vec![VpMetrics::default(); 2],
+        };
+        m.vps[0].full_switches = 3;
+        m.vps[1].full_switches = 4;
+        m.vps[0].waiting_integral = 1_000_000; // 0.5 threads on avg
+        m.vps[1].waiting_integral = 3_000_000; // 1.5 threads on avg
+        assert_eq!(m.full_switches(), 7);
+        assert!((m.avg_waiting_threads() - 2.0).abs() < 1e-9);
+        assert!((m.time_ms() - 2.0).abs() < 1e-9);
+    }
+}

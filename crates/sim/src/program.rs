@@ -1,0 +1,155 @@
+//! Simulated thread programs and workload construction.
+
+use serde::{Deserialize, Serialize};
+
+/// One operation of a simulated thread's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimOp {
+    /// Spin the CPU for `units` iterations of the Figure-9 α computation
+    /// (cost `units × compute_unit_ns`).
+    Compute(u64),
+    /// Spin the CPU for `units` iterations of the Figure-9 β computation
+    /// (cost `units × beta_unit_ns`; see `CostModel::beta_unit_ns`).
+    ComputeBeta(u64),
+    /// Send a `bytes`-byte message carrying `tag` to the thread on
+    /// `to_vp` that receives this tag.
+    Send {
+        /// Destination virtual processor.
+        to_vp: usize,
+        /// Matching tag (unique per logical channel).
+        tag: u32,
+        /// Body size in bytes.
+        bytes: u32,
+    },
+    /// Post a receive for `tag` from `from_vp` and block (under the
+    /// configured polling policy) until it arrives.
+    Recv {
+        /// Expected source virtual processor.
+        from_vp: usize,
+        /// Matching tag.
+        tag: u32,
+    },
+}
+
+/// A straight-line program repeated `repeat` times — sufficient for every
+/// workload in the paper (the Figure-9 loop and the Table-2 ping-pong).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimProgram {
+    /// Loop body.
+    pub ops: Vec<SimOp>,
+    /// Number of loop iterations.
+    pub repeat: u32,
+}
+
+impl SimProgram {
+    /// The paper's Figure-9 loop:
+    /// `loop { compute(alpha); send(); compute(beta); recv(); }`.
+    pub fn figure9(
+        alpha: u64,
+        beta: u64,
+        partner_vp: usize,
+        tag: u32,
+        bytes: u32,
+        iterations: u32,
+    ) -> SimProgram {
+        SimProgram {
+            ops: vec![
+                SimOp::Compute(alpha),
+                SimOp::Send {
+                    to_vp: partner_vp,
+                    tag,
+                    bytes,
+                },
+                SimOp::ComputeBeta(beta),
+                SimOp::Recv {
+                    from_vp: partner_vp,
+                    tag,
+                },
+            ],
+            repeat: iterations,
+        }
+    }
+
+    /// Ping side of the Table-2 ping-pong: send then await the echo.
+    pub fn ping(partner_vp: usize, tag: u32, bytes: u32, iterations: u32) -> SimProgram {
+        SimProgram {
+            ops: vec![
+                SimOp::Send {
+                    to_vp: partner_vp,
+                    tag,
+                    bytes,
+                },
+                SimOp::Recv {
+                    from_vp: partner_vp,
+                    tag,
+                },
+            ],
+            repeat: iterations,
+        }
+    }
+
+    /// Pong side: await then echo.
+    pub fn pong(partner_vp: usize, tag: u32, bytes: u32, iterations: u32) -> SimProgram {
+        SimProgram {
+            ops: vec![
+                SimOp::Recv {
+                    from_vp: partner_vp,
+                    tag,
+                },
+                SimOp::Send {
+                    to_vp: partner_vp,
+                    tag,
+                    bytes,
+                },
+            ],
+            repeat: iterations,
+        }
+    }
+}
+
+/// A thread to place on a simulated VP.
+#[derive(Clone, Debug)]
+pub struct ThreadSpec {
+    /// Which VP hosts the thread.
+    pub vp: usize,
+    /// Its program.
+    pub program: SimProgram,
+}
+
+/// Whether threads run over the Chant layer or the workload uses the raw
+/// communication system directly (the paper's "Process" baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerMode {
+    /// Raw NX-style blocking send/receive, one thread per process, no
+    /// thread scheduler in the path (Table 2's "Process" column).
+    Process,
+    /// Talking threads through Chant: per-message naming overhead and a
+    /// polling policy for blocking receives.
+    Chant(chant_core::PollingPolicy),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape() {
+        let p = SimProgram::figure9(100, 10, 1, 3, 0, 5);
+        assert_eq!(p.repeat, 5);
+        assert_eq!(p.ops.len(), 4);
+        assert!(matches!(p.ops[0], SimOp::Compute(100)));
+        assert!(matches!(p.ops[1], SimOp::Send { to_vp: 1, tag: 3, .. }));
+        assert!(matches!(p.ops[2], SimOp::ComputeBeta(10)));
+        assert!(matches!(p.ops[3], SimOp::Recv { from_vp: 1, tag: 3 }));
+    }
+
+    #[test]
+    fn ping_and_pong_are_duals() {
+        let ping = SimProgram::ping(1, 0, 1024, 7);
+        let pong = SimProgram::pong(0, 0, 1024, 7);
+        assert!(matches!(ping.ops[0], SimOp::Send { .. }));
+        assert!(matches!(ping.ops[1], SimOp::Recv { .. }));
+        assert!(matches!(pong.ops[0], SimOp::Recv { .. }));
+        assert!(matches!(pong.ops[1], SimOp::Send { .. }));
+    }
+}

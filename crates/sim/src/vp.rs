@@ -1,0 +1,329 @@
+//! The simulated virtual processor: thread states, ready queue, message
+//! matching, and waiting-thread accounting.
+//!
+//! The policy state machines here mirror `chant-core`'s live
+//! implementations (Figures 5 and 6 of the paper, plus the PS partial
+//! switch and the WQ `msgtestany` variant); the live runtime executes
+//! them against real OS threads, this module executes them against a
+//! virtual clock.
+
+use std::collections::VecDeque;
+
+use crate::metrics::VpMetrics;
+use crate::program::SimProgram;
+use crate::Ns;
+
+/// State of one simulated thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThState {
+    /// On the ready queue, no outstanding receive.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// TP policy: on the ready queue, will re-test its receive when
+    /// dispatched (paper Figure 5).
+    AwaitTp,
+    /// WQ policies: off the ready queue; the scheduler's table scan will
+    /// make it ready when its message arrives (paper Figure 6).
+    BlockedWq,
+    /// PS policy: on the ready queue with a pending request in its TCB;
+    /// the dispatcher tests before restoring (paper §4.2).
+    PsPending,
+    /// Process mode: blocked in a raw `crecv`, VP idle.
+    BlockedProc,
+    /// Program finished.
+    Done,
+}
+
+/// An outstanding receive request.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RecvReq {
+    pub from_vp: usize,
+    pub tag: u32,
+    pub posted_at: Ns,
+    /// Set when the matching message has been delivered; the request is
+    /// observably complete at `max(arrival, posted_at)`.
+    pub complete_at: Option<Ns>,
+}
+
+/// One simulated thread.
+#[derive(Clone, Debug)]
+pub(crate) struct Th {
+    pub program: SimProgram,
+    /// Next op index within the loop body.
+    pub pc: usize,
+    /// Completed loop iterations.
+    pub iter: u32,
+    pub state: ThState,
+    pub recv: Option<RecvReq>,
+    /// True when the receive at `pc` is posted and the next action is
+    /// its (first or repeated) completion test.
+    pub at_recv_test: bool,
+    /// The thread's context was saved away while it was blocked, so its
+    /// next dispatch is a full restore even if no other thread ran
+    /// in between (unlike TP's stay-on-the-ready-queue case, where "the
+    /// scheduler simply returns without having to perform a context
+    /// switch", §4.1).
+    pub needs_restore: bool,
+    /// Whether this thread is currently counted in the waiting integral.
+    pub counted_waiting: bool,
+}
+
+impl Th {
+    pub fn new(program: SimProgram) -> Th {
+        Th {
+            program,
+            pc: 0,
+            iter: 0,
+            state: ThState::Ready,
+            recv: None,
+            at_recv_test: false,
+            needs_restore: false,
+            counted_waiting: false,
+        }
+    }
+}
+
+/// A message parked at a VP with no matching posted receive.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Unexpected {
+    pub src: usize,
+    pub tag: u32,
+    pub arrival: Ns,
+}
+
+/// One simulated virtual processor.
+#[derive(Clone, Debug)]
+pub(crate) struct SimVp {
+    /// Local clock: the time through which this VP has executed.
+    pub clock: Ns,
+    pub threads: Vec<Th>,
+    pub ready: VecDeque<usize>,
+    /// WQ policies: the scheduler's table of (thread) polling requests.
+    pub wq: Vec<usize>,
+    pub unexpected: Vec<Unexpected>,
+    pub live: usize,
+    pub running: Option<usize>,
+    /// The thread that most recently held the processor (for
+    /// self-redispatch detection).
+    pub last_ran: Option<usize>,
+    /// True when the VP has nothing to do until a message arrives.
+    pub idle: bool,
+    /// When the current idle period began (valid while `idle`).
+    pub idle_since: Ns,
+    /// True when a VpStep event for this VP is already in the queue.
+    pub step_scheduled: bool,
+    pub metrics: VpMetrics,
+    waiting_now: u32,
+    pub(crate) waiting_since: Ns,
+}
+
+impl SimVp {
+    pub fn new() -> SimVp {
+        SimVp {
+            clock: 0,
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            wq: Vec::new(),
+            unexpected: Vec::new(),
+            live: 0,
+            running: None,
+            last_ran: None,
+            idle: false,
+            idle_since: 0,
+            step_scheduled: false,
+            metrics: VpMetrics::default(),
+            waiting_now: 0,
+            waiting_since: 0,
+        }
+    }
+
+    pub fn add_thread(&mut self, program: SimProgram) -> usize {
+        let idx = self.threads.len();
+        self.threads.push(Th::new(program));
+        self.ready.push_back(idx);
+        self.live += 1;
+        idx
+    }
+
+    /// Advance the waiting-threads integral to `now` and apply `delta`.
+    pub fn waiting_delta(&mut self, now: Ns, delta: i32) {
+        debug_assert!(now >= self.waiting_since, "waiting clock went backwards");
+        self.metrics.waiting_integral +=
+            u128::from(self.waiting_now) * u128::from(now - self.waiting_since);
+        self.waiting_since = now;
+        self.waiting_now = self
+            .waiting_now
+            .checked_add_signed(delta)
+            .expect("waiting count underflow");
+    }
+
+    /// Flush the waiting integral at end of run.
+    pub fn finish_waiting(&mut self, now: Ns) {
+        self.waiting_delta(now, 0);
+    }
+
+    /// Clamp an externally supplied timestamp (e.g. a message arrival)
+    /// so waiting-integral updates stay monotone.
+    pub fn waiting_floor(&self, t: Ns) -> Ns {
+        t.max(self.waiting_since)
+    }
+
+    /// Mark thread `t` as waiting (idempotent) for Figure-13 accounting.
+    pub fn mark_waiting(&mut self, t: usize, now: Ns) {
+        if !self.threads[t].counted_waiting {
+            self.threads[t].counted_waiting = true;
+            self.waiting_delta(now, 1);
+        }
+    }
+
+    /// Clear thread `t`'s waiting mark (idempotent).
+    pub fn clear_waiting(&mut self, t: usize, now: Ns) {
+        if self.threads[t].counted_waiting {
+            self.threads[t].counted_waiting = false;
+            self.waiting_delta(now, -1);
+        }
+    }
+
+    /// Deliver a message: complete a matching posted receive, or park it
+    /// in the unexpected queue. Returns the receiving thread if a posted
+    /// receive was completed.
+    pub fn deliver(&mut self, src: usize, tag: u32, arrival: Ns) -> Option<usize> {
+        // Posted receives are matched in thread order; tags are unique
+        // per logical channel in our workloads, so at most one matches.
+        for (i, th) in self.threads.iter_mut().enumerate() {
+            if let Some(req) = &mut th.recv {
+                if req.complete_at.is_none() && req.from_vp == src && req.tag == tag {
+                    req.complete_at = Some(arrival.max(req.posted_at));
+                    return Some(i);
+                }
+            }
+        }
+        self.unexpected.push(Unexpected { src, tag, arrival });
+        None
+    }
+
+    /// Try to satisfy a just-posted receive from the unexpected queue
+    /// (earliest arrival first). Returns the arrival time if claimed.
+    pub fn claim_unexpected(&mut self, from_vp: usize, tag: u32) -> Option<Ns> {
+        let mut best: Option<(usize, Ns)> = None;
+        for (i, u) in self.unexpected.iter().enumerate() {
+            if u.src == from_vp && u.tag == tag {
+                match best {
+                    Some((_, t)) if t <= u.arrival => {}
+                    _ => best = Some((i, u.arrival)),
+                }
+            }
+        }
+        let (i, arrival) = best?;
+        self.unexpected.swap_remove(i);
+        Some(arrival)
+    }
+
+    /// Is the thread's outstanding receive observably complete at `t`?
+    pub fn recv_complete(&self, thread: usize, t: Ns) -> bool {
+        match &self.threads[thread].recv {
+            Some(req) => matches!(req.complete_at, Some(c) if c <= t),
+            None => true,
+        }
+    }
+
+    /// A WQ thread whose receive the scheduler's scan completed: consume
+    /// the request, advance past the Recv op, and make it ready.
+    pub fn finish_wq_recv(&mut self, tid: usize) {
+        let th = &mut self.threads[tid];
+        th.recv = None;
+        th.at_recv_test = false;
+        th.needs_restore = true;
+        th.pc += 1;
+        if th.pc == th.program.ops.len() {
+            th.pc = 0;
+            th.iter += 1;
+        }
+        th.state = ThState::Ready;
+        self.metrics.recvs += 1;
+        self.ready.push_back(tid);
+    }
+
+    /// All threads finished?
+    pub fn finished(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SimOp;
+
+    fn prog() -> SimProgram {
+        SimProgram {
+            ops: vec![SimOp::Compute(1)],
+            repeat: 1,
+        }
+    }
+
+    #[test]
+    fn deliver_prefers_posted_receive() {
+        let mut vp = SimVp::new();
+        let t = vp.add_thread(prog());
+        vp.threads[t].recv = Some(RecvReq {
+            from_vp: 1,
+            tag: 5,
+            posted_at: 100,
+            complete_at: None,
+        });
+        assert_eq!(vp.deliver(1, 5, 250), Some(t));
+        assert!(vp.recv_complete(t, 250));
+        assert!(!vp.recv_complete(t, 249));
+        assert!(vp.unexpected.is_empty());
+    }
+
+    #[test]
+    fn completion_time_is_at_least_post_time() {
+        let mut vp = SimVp::new();
+        let t = vp.add_thread(prog());
+        vp.threads[t].recv = Some(RecvReq {
+            from_vp: 1,
+            tag: 5,
+            posted_at: 400,
+            complete_at: None,
+        });
+        vp.deliver(1, 5, 250);
+        assert_eq!(vp.threads[t].recv.unwrap().complete_at, Some(400));
+    }
+
+    #[test]
+    fn unmatched_message_is_parked_and_claimable() {
+        let mut vp = SimVp::new();
+        vp.add_thread(prog());
+        assert_eq!(vp.deliver(1, 9, 300), None);
+        assert_eq!(vp.unexpected.len(), 1);
+        assert_eq!(vp.claim_unexpected(1, 9), Some(300));
+        assert!(vp.unexpected.is_empty());
+        assert_eq!(vp.claim_unexpected(1, 9), None);
+    }
+
+    #[test]
+    fn claim_takes_earliest_arrival() {
+        let mut vp = SimVp::new();
+        vp.add_thread(prog());
+        vp.deliver(1, 9, 500);
+        vp.deliver(1, 9, 200);
+        assert_eq!(vp.claim_unexpected(1, 9), Some(200));
+        assert_eq!(vp.claim_unexpected(1, 9), Some(500));
+    }
+
+    #[test]
+    fn waiting_integral_accumulates() {
+        let mut vp = SimVp::new();
+        let a = vp.add_thread(prog());
+        let b = vp.add_thread(prog());
+        vp.mark_waiting(a, 100);
+        vp.mark_waiting(a, 150); // idempotent: no double count
+        vp.mark_waiting(b, 200); // a waited alone for 100ns
+        vp.clear_waiting(a, 300); // a+b waited together for 100ns
+        vp.finish_waiting(400); // b waited alone for 100ns
+        assert_eq!(vp.metrics.waiting_integral, 100 + 200 + 100);
+    }
+}

@@ -1,0 +1,272 @@
+//! Workload generators beyond the paper's Figure 9.
+//!
+//! The paper's introduction motivates talking threads with three usage
+//! patterns: latency tolerance, client–server / irregular computation,
+//! and virtual processors. These generators express each as a simulated
+//! workload so the polling policies can be compared on shapes the paper
+//! argued about but never measured (an *extension* experiment; see
+//! EXPERIMENTS.md):
+//!
+//! * [`master_worker`] — one master thread farms variable-size work
+//!   items to worker threads across the PEs (client–server/irregular);
+//! * [`stencil`] — a 1-D halo exchange: each PE's boundary threads swap
+//!   ghost cells with neighbours, then everyone computes (SPMD);
+//! * [`all_to_all`] — every thread exchanges with every other PE's
+//!   partner thread each round (communication-saturated).
+
+use crate::program::{SimOp, SimProgram, ThreadSpec};
+
+/// Tags are partitioned per pattern so generators can be combined.
+const MW_TAG_BASE: u32 = 10_000;
+const ST_TAG_BASE: u32 = 20_000;
+const A2A_TAG_BASE: u32 = 30_000;
+
+/// Master–worker: the master (thread 0 on VP 0) sends each worker a
+/// stream of work items and receives a result per item; workers compute
+/// an item-dependent amount (deterministically "irregular": item `i` for
+/// worker `w` costs `base + ((i * 7 + w * 13) % spread)` units).
+///
+/// Returns the thread specs; total messages = `2 × workers × items`.
+pub fn master_worker(
+    pes: usize,
+    workers_per_pe: u32,
+    items_per_worker: u32,
+    base_units: u64,
+    spread_units: u64,
+) -> Vec<ThreadSpec> {
+    assert!(pes >= 1);
+    let mut specs = Vec::new();
+    let mut master_ops = Vec::new();
+
+    let mut worker_index = 0u32;
+    for pe in 0..pes {
+        for _ in 0..workers_per_pe {
+            let w = worker_index;
+            worker_index += 1;
+            let tag = MW_TAG_BASE + w;
+            // Worker: receive an item, compute, reply — repeated.
+            let mut ops = Vec::new();
+            for i in 0..items_per_worker {
+                let cost =
+                    base_units + (u64::from(i) * 7 + u64::from(w) * 13) % spread_units.max(1);
+                ops.push(SimOp::Recv { from_vp: 0, tag });
+                ops.push(SimOp::Compute(cost));
+                ops.push(SimOp::Send {
+                    to_vp: 0,
+                    tag,
+                    bytes: 64,
+                });
+            }
+            specs.push(ThreadSpec {
+                vp: pe,
+                program: SimProgram { ops, repeat: 1 },
+            });
+            // Master side for this worker: interleave sends round-robin
+            // later; collect per-worker op pairs now.
+            for _ in 0..items_per_worker {
+                master_ops.push((pe, tag));
+            }
+        }
+    }
+
+    // The master deals items round-robin across workers (first all
+    // workers' item 0, then item 1, ...), awaiting results as it goes —
+    // a bounded-outstanding window of one item per worker.
+    let workers = worker_index;
+    let mut ops = Vec::new();
+    for i in 0..items_per_worker {
+        for w in 0..workers {
+            let (pe, tag) = master_ops[(w * items_per_worker + i) as usize];
+            ops.push(SimOp::Send {
+                to_vp: pe,
+                tag,
+                bytes: 256,
+            });
+        }
+        for w in 0..workers {
+            let (pe, tag) = master_ops[(w * items_per_worker + i) as usize];
+            let _ = pe;
+            ops.push(SimOp::Recv { from_vp: master_ops[(w * items_per_worker + i) as usize].0, tag });
+        }
+    }
+    specs.push(ThreadSpec {
+        vp: 0,
+        program: SimProgram { ops, repeat: 1 },
+    });
+    specs
+}
+
+/// 1-D stencil halo exchange: `threads_per_pe` domain threads per PE in
+/// a chain of PEs; each iteration the PE's first/last threads exchange
+/// ghost cells with the neighbouring PEs, then every thread computes.
+pub fn stencil(
+    pes: usize,
+    threads_per_pe: u32,
+    iterations: u32,
+    compute_units: u64,
+    ghost_bytes: u32,
+) -> Vec<ThreadSpec> {
+    assert!(pes >= 2);
+    let mut specs = Vec::new();
+    for pe in 0..pes {
+        for t in 0..threads_per_pe {
+            let mut ops = Vec::new();
+            let first = t == 0;
+            let last = t == threads_per_pe - 1;
+            // Exchange with the left neighbour PE (owned by thread 0).
+            if first && pe > 0 {
+                ops.push(SimOp::Send {
+                    to_vp: pe - 1,
+                    tag: ST_TAG_BASE + pe as u32, // "to my left" channel
+                    bytes: ghost_bytes,
+                });
+                ops.push(SimOp::Recv {
+                    from_vp: pe - 1,
+                    tag: ST_TAG_BASE + 1000 + pe as u32, // "from my left"
+                });
+            }
+            // Exchange with the right neighbour PE (owned by last thread).
+            if last && pe + 1 < pes {
+                ops.push(SimOp::Send {
+                    to_vp: pe + 1,
+                    tag: ST_TAG_BASE + 1000 + (pe + 1) as u32,
+                    bytes: ghost_bytes,
+                });
+                ops.push(SimOp::Recv {
+                    from_vp: pe + 1,
+                    tag: ST_TAG_BASE + (pe + 1) as u32,
+                });
+            }
+            ops.push(SimOp::Compute(compute_units));
+            specs.push(ThreadSpec {
+                vp: pe,
+                program: SimProgram {
+                    ops,
+                    repeat: iterations,
+                },
+            });
+        }
+    }
+    specs
+}
+
+/// All-to-all: thread `t` on each PE sends to thread `t` on *every*
+/// other PE each round, then receives from each — a bisection stress.
+pub fn all_to_all(
+    pes: usize,
+    threads_per_pe: u32,
+    iterations: u32,
+    msg_bytes: u32,
+) -> Vec<ThreadSpec> {
+    assert!(pes >= 2);
+    let mut specs = Vec::new();
+    for pe in 0..pes {
+        for t in 0..threads_per_pe {
+            let mut ops = Vec::new();
+            for other in 0..pes {
+                if other != pe {
+                    ops.push(SimOp::Send {
+                        to_vp: other,
+                        // Channel keyed by (sender pe, thread): unique.
+                        tag: A2A_TAG_BASE + (pe as u32) * threads_per_pe + t,
+                        bytes: msg_bytes,
+                    });
+                }
+            }
+            for other in 0..pes {
+                if other != pe {
+                    ops.push(SimOp::Recv {
+                        from_vp: other,
+                        tag: A2A_TAG_BASE + (other as u32) * threads_per_pe + t,
+                    });
+                }
+            }
+            specs.push(ThreadSpec {
+                vp: pe,
+                program: SimProgram {
+                    ops,
+                    repeat: iterations,
+                },
+            });
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::program::LayerMode;
+    use crate::CostModel;
+    use chant_core::PollingPolicy;
+
+    fn run(specs: Vec<ThreadSpec>, pes: usize, policy: PollingPolicy) -> crate::RunMetrics {
+        simulate(
+            pes,
+            CostModel::abstract_unit(),
+            LayerMode::Chant(policy),
+            specs,
+        )
+        .expect("workload completes")
+    }
+
+    #[test]
+    fn master_worker_conserves_messages() {
+        for policy in PollingPolicy::ALL {
+            let m = run(master_worker(3, 2, 5, 100, 50), 3, policy);
+            // 2 messages per item: 3 PEs x 2 workers x 5 items x 2.
+            assert_eq!(m.recvs(), 60, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn stencil_conserves_messages() {
+        let m = run(stencil(4, 3, 6, 50, 1024), 4, PollingPolicy::SchedulerPollsPs);
+        // Interior links: 3 per chain of 4 PEs; 2 messages per link per
+        // iteration; 6 iterations.
+        assert_eq!(m.recvs(), 3 * 2 * 6);
+    }
+
+    #[test]
+    fn all_to_all_conserves_messages() {
+        let m = run(all_to_all(4, 2, 3, 128), 4, PollingPolicy::SchedulerPollsWq);
+        // Each of 8 threads sends to 3 other PEs, 3 iterations.
+        assert_eq!(m.recvs(), 8 * 3 * 3);
+    }
+
+    #[test]
+    fn workloads_complete_under_paragon_costs() {
+        let cost = CostModel::paragon_polling();
+        for specs in [
+            master_worker(2, 3, 4, 1_000, 500),
+            stencil(2, 4, 5, 2_000, 4096),
+            all_to_all(2, 3, 4, 512),
+        ] {
+            let m = simulate(
+                specs.iter().map(|s| s.vp).max().unwrap() + 1,
+                cost,
+                LayerMode::Chant(PollingPolicy::ThreadPolls),
+                specs,
+            )
+            .expect("completes");
+            assert!(m.total_ns > 0);
+        }
+    }
+
+    #[test]
+    fn irregular_items_really_vary() {
+        // The master-worker cost formula must produce spread, or the
+        // "irregular computation" claim is empty.
+        let specs = master_worker(2, 2, 6, 100, 400);
+        let mut costs = std::collections::HashSet::new();
+        for s in &specs {
+            for op in &s.program.ops {
+                if let SimOp::Compute(c) = op {
+                    costs.insert(*c);
+                }
+            }
+        }
+        assert!(costs.len() > 4, "item costs too uniform: {costs:?}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Virtual-processor configuration.
+
+/// Tuning knobs for a [`crate::Vp`].
+#[derive(Clone, Debug)]
+pub struct VpConfig {
+    /// Human-readable name of the VP, used in OS thread names and panics.
+    pub name: String,
+    /// Number of consecutive empty schedule rounds after which the idle
+    /// loop starts calling `std::thread::yield_now()` between rounds, so an
+    /// idle VP does not starve other VPs hosted on the same machine.
+    pub idle_spins_before_os_yield: u32,
+    /// Number of consecutive empty schedule rounds after which a VP with
+    /// **no scheduler hooks installed** declares deadlock and panics. With
+    /// hooks installed the scheduler may legitimately spin forever waiting
+    /// for a message from another address space, so the limit only applies
+    /// to the hook-free (pure shared-memory) case, where no external event
+    /// can ever make a thread ready.
+    pub deadlock_spin_limit: u64,
+}
+
+impl Default for VpConfig {
+    fn default() -> Self {
+        VpConfig {
+            name: "vp".to_string(),
+            idle_spins_before_os_yield: 4,
+            deadlock_spin_limit: 1_000_000,
+        }
+    }
+}
+
+impl VpConfig {
+    /// A config with the given VP name and default tuning.
+    pub fn named(name: impl Into<String>) -> Self {
+        VpConfig {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_keeps_defaults() {
+        let c = VpConfig::named("pe0");
+        assert_eq!(c.name, "pe0");
+        assert_eq!(
+            c.deadlock_spin_limit,
+            VpConfig::default().deadlock_spin_limit
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! The per-OS-thread notion of "which user-level thread am I".
+//!
+//! Every OS thread that backs a user-level thread carries a pointer to its
+//! VP and TCB in OS-level TLS; that is how `yield_now`, `block`, TLS keys
+//! and the Chant layer find their context (cf. `pthread_chanter_self`).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::tcb::{Tcb, Tid};
+use crate::vp::Vp;
+
+pub(crate) struct UltContext {
+    pub vp: Arc<Vp>,
+    pub tcb: Arc<Tcb>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<UltContext>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_current(ctx: Option<UltContext>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(Option<&UltContext>) -> R) -> R {
+    CURRENT.with(|c| f(c.borrow().as_ref()))
+}
+
+/// Returns `true` if the calling OS thread is currently executing a
+/// user-level thread. Chant uses this to enforce its rule that "only
+/// nonblocking communication primitives from the underlying communication
+/// system are utilized" from thread context (paper §3.1): a call that
+/// would block the whole VP asserts `!is_ult_context()` first.
+pub fn is_ult_context() -> bool {
+    with_current(|c| c.is_some())
+}
+
+/// The local thread id of the calling user-level thread, if any.
+/// This is the `thread` component of `pthread_chanter_self`'s 3-tuple.
+pub fn current_tid() -> Option<Tid> {
+    with_current(|c| c.map(|ctx| ctx.tcb.id))
+}
+
+/// The VP the calling user-level thread belongs to, if any.
+pub fn current_vp() -> Option<Arc<Vp>> {
+    with_current(|c| c.map(|ctx| Arc::clone(&ctx.vp)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_os_thread_is_not_ult() {
+        assert!(!is_ult_context());
+        assert_eq!(current_tid(), None);
+        assert!(current_vp().is_none());
+    }
+}

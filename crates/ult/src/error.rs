@@ -1,0 +1,84 @@
+//! Error types for thread operations.
+
+use std::fmt;
+
+use crate::tcb::Tid;
+
+/// Errors returned by user-level thread operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UltError {
+    /// The referenced thread id does not exist (never created, or already
+    /// reaped after a detach/join).
+    NoSuchThread(Tid),
+    /// The operation requires running inside a user-level thread, but the
+    /// calling OS thread is not one (cf. paper §3.1: only nonblocking
+    /// primitives of the underlying layer may be used from thread context).
+    NotUltContext,
+    /// A thread tried to join itself.
+    JoinSelf(Tid),
+    /// The thread is detached and cannot be joined.
+    Detached(Tid),
+    /// The thread's exit value was already claimed by an earlier join.
+    AlreadyJoined(Tid),
+    /// The VP is shutting down and refuses new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for UltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UltError::NoSuchThread(t) => write!(f, "no such thread: {t}"),
+            UltError::NotUltContext => {
+                write!(f, "operation requires a user-level thread context")
+            }
+            UltError::JoinSelf(t) => write!(f, "thread {t} cannot join itself"),
+            UltError::Detached(t) => write!(f, "thread {t} is detached"),
+            UltError::AlreadyJoined(t) => {
+                write!(f, "thread {t} was already joined")
+            }
+            UltError::ShuttingDown => write!(f, "virtual processor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for UltError {}
+
+/// Why a join failed to produce a value.
+#[derive(Debug)]
+pub enum JoinError {
+    /// The joined thread panicked; the payload is the panic value.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The joined thread was cancelled (cf. `pthread_chanter_cancel`).
+    Cancelled,
+    /// A structural error (bad id, detached target, ...).
+    Op(UltError),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Panicked(_) => write!(f, "joined thread panicked"),
+            JoinError::Cancelled => write!(f, "joined thread was cancelled"),
+            JoinError::Op(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<UltError> for JoinError {
+    fn from(e: UltError) -> Self {
+        JoinError::Op(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(UltError::NoSuchThread(7).to_string().contains('7'));
+        assert!(UltError::JoinSelf(3).to_string().contains("join itself"));
+        let je: JoinError = UltError::Detached(2).into();
+        assert!(je.to_string().contains("detached"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Scheduler hook points.
+//!
+//! The Chant paper's two "scheduler polls" algorithms require cooperation
+//! from the thread scheduler (paper §3.1, §4.2):
+//!
+//! * *Scheduler polls (WQ)*: "a list of polling requests ... examined at
+//!   each scheduling point to see if any outstanding messages have
+//!   arrived" — provided here by [`SchedulerHook::at_schedule_point`].
+//! * *Scheduler polls (PS)*: "each thread stores its polling request in
+//!   its thread control block ... When the scheduler is invoked to perform
+//!   a context switch, it selects the next available TCB from the thread
+//!   queue and determines if a request is pending. ... If the message has
+//!   arrived, the thread is restored, otherwise the TCB is placed back on
+//!   the thread queue" — provided here by
+//!   [`SchedulerHook::before_dispatch`] returning
+//!   [`DispatchDecision::Requeue`] (a *partial switch*).
+//!
+//! The paper notes that "some thread packages may not allow modification
+//! of the scheduler activities"; this crate deliberately does, since that
+//! is precisely the design space being measured.
+
+use std::sync::Arc;
+
+use crate::tcb::Tid;
+
+/// A request a blocked-in-place thread is waiting on, stored in its TCB.
+///
+/// Chant stores the handle of an outstanding nonblocking receive here; the
+/// PS policy's pre-dispatch check calls [`PendingPoll::ready`], which maps
+/// to a single `msgtest` on the underlying communication layer.
+pub trait PendingPoll: Send {
+    /// Test (without blocking) whether the awaited event has occurred.
+    fn ready(&self) -> bool;
+}
+
+impl<F: Fn() -> bool + Send> PendingPoll for F {
+    fn ready(&self) -> bool {
+        self()
+    }
+}
+
+/// Decision returned by [`SchedulerHook::before_dispatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchDecision {
+    /// Complete the context switch and run the candidate thread.
+    Run,
+    /// The candidate's pending request is not satisfied; put its TCB back
+    /// on the ready queue and try the next one. This is the paper's
+    /// "partial switch": the thread's context is *not* restored.
+    Requeue,
+}
+
+/// A scheduler extension installed on a [`crate::Vp`].
+///
+/// Hooks are invoked by whichever OS thread currently holds the VP's
+/// scheduling baton, never concurrently with themselves, and never while
+/// the VP's internal run-queue lock is held (so a hook may freely call
+/// back into the VP, e.g. to unblock a thread).
+pub trait SchedulerHook: Send + Sync {
+    /// Called at every schedule point, before the ready queue is examined.
+    /// A WQ-style hook scans its request list here and calls
+    /// [`crate::Vp::unblock`] for each thread whose message has arrived.
+    fn at_schedule_point(&self);
+
+    /// Called for a candidate thread popped from the ready queue, before
+    /// its context is restored. `pending` is the poll request stored in
+    /// the candidate's TCB, if any. The default implementation performs
+    /// the PS algorithm's test: run if there is no pending request or it
+    /// is ready, requeue otherwise.
+    fn before_dispatch(&self, tid: Tid, pending: Option<&dyn PendingPoll>) -> DispatchDecision {
+        let _ = tid;
+        match pending {
+            Some(p) if !p.ready() => DispatchDecision::Requeue,
+            _ => DispatchDecision::Run,
+        }
+    }
+
+    /// Whether this hook wants [`Self::before_dispatch`] to be consulted.
+    /// Hooks that only use the schedule point (WQ) return `false` so the
+    /// dispatcher can skip the per-candidate call entirely.
+    fn wants_dispatch_check(&self) -> bool {
+        true
+    }
+}
+
+/// A no-op hook, useful in tests and as a default.
+#[derive(Debug, Default)]
+pub struct NullHook;
+
+impl SchedulerHook for NullHook {
+    fn at_schedule_point(&self) {}
+    fn wants_dispatch_check(&self) -> bool {
+        false
+    }
+}
+
+/// Shared, dynamically-dispatched hook handle.
+pub(crate) type HookRef = Arc<dyn SchedulerHook>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn closure_is_pending_poll() {
+        let flag = AtomicBool::new(false);
+        let poll = || flag.load(Ordering::Relaxed);
+        assert!(!PendingPoll::ready(&poll));
+        flag.store(true, Ordering::Relaxed);
+        assert!(PendingPoll::ready(&poll));
+    }
+
+    #[test]
+    fn default_before_dispatch_implements_partial_switch() {
+        struct H;
+        impl SchedulerHook for H {
+            fn at_schedule_point(&self) {}
+        }
+        let not_ready = || false;
+        let ready = || true;
+        assert_eq!(
+            H.before_dispatch(1, Some(&not_ready)),
+            DispatchDecision::Requeue
+        );
+        assert_eq!(H.before_dispatch(1, Some(&ready)), DispatchDecision::Run);
+        assert_eq!(H.before_dispatch(1, None), DispatchDecision::Run);
+    }
+}

@@ -1,0 +1,771 @@
+//! The virtual processor: a strict cooperative scheduler multiplexing
+//! user-level threads, with the hook points Chant's polling policies need.
+//!
+//! A [`Vp`] corresponds to the paper's *(processing element, process)*
+//! context: one address space's worth of lightweight threads. Exactly one
+//! thread of a VP executes at a time; the executing thread holds the VP's
+//! *scheduling baton* and passes it on at explicit points (`yield_now`,
+//! `block`, exit). Whoever holds the baton also runs the scheduler — and
+//! therefore the installed [`SchedulerHook`]s — which is how "the
+//! scheduler polls for outstanding messages on each context switch"
+//! (paper §3.1) without any dedicated scheduler thread.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Once};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::attr::{Priority, SpawnAttr};
+use crate::config::VpConfig;
+use crate::current::{self, UltContext};
+use crate::error::{JoinError, UltError};
+use crate::hooks::{DispatchDecision, HookRef, PendingPoll};
+use crate::stats::VpStats;
+use crate::tcb::{Outcome, Phase, Tcb, Tid, MAIN_TID};
+
+/// Panic payload used to unwind a cancelled thread (cf.
+/// `pthread_chanter_cancel`). Recognized and silenced by our panic hook.
+struct CancelPayload;
+
+/// Install a process-wide panic hook that silences cancellation unwinds
+/// while delegating every other panic to the previously installed hook.
+fn install_cancel_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CancelPayload>() {
+                return; // orderly cancellation, not an error
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// How the baton holder is departing when it invokes the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Departure {
+    /// Voluntary yield: requeue me, run someone (possibly me again).
+    Yield,
+    /// I am blocked: do not requeue me; park me after handing off.
+    Block,
+    /// I am exiting: hand off and let my OS thread die.
+    Exit,
+    /// Initial dispatch from [`Vp::start`]'s calling thread.
+    Bootstrap,
+}
+
+/// Externally visible lifecycle state of a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// On the ready queue awaiting dispatch.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Waiting for an explicit unblock.
+    Blocked,
+    /// Finished (exit value possibly unclaimed).
+    Done,
+}
+
+/// Introspection data about one thread (cf. the paper's Figure 2
+/// "Information: thread id, attribute info, scheduling info").
+#[derive(Clone, Debug)]
+pub struct ThreadInfo {
+    /// Local thread id.
+    pub id: Tid,
+    /// Thread name (from [`SpawnAttr::name`] or generated).
+    pub name: String,
+    /// Current priority class.
+    pub priority: Priority,
+    /// Lifecycle state at the time of the query.
+    pub state: ThreadState,
+    /// Whether the thread is detached.
+    pub detached: bool,
+}
+
+struct Inner {
+    tcbs: HashMap<Tid, Arc<Tcb>>,
+    ready: [VecDeque<Tid>; Priority::LEVELS],
+    next_tid: Tid,
+    /// Threads not yet Done.
+    live: usize,
+    current: Option<Tid>,
+    shutdown: bool,
+}
+
+impl Inner {
+    fn ready_len(&self) -> usize {
+        self.ready.iter().map(VecDeque::len).sum()
+    }
+
+    fn push_ready(&mut self, tcb: &Tcb) {
+        self.ready[tcb.priority().index()].push_back(tcb.id);
+    }
+
+    /// Pop the frontmost thread of the highest non-empty priority class.
+    fn pop_ready(&mut self) -> Option<Tid> {
+        for q in self.ready.iter_mut().rev() {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// A virtual processor hosting cooperative user-level threads.
+///
+/// See the [crate documentation](crate) for the execution model.
+pub struct Vp {
+    cfg: VpConfig,
+    inner: Mutex<Inner>,
+    done_cv: Condvar,
+    hooks: RwLock<Arc<Vec<HookRef>>>,
+    stats: VpStats,
+}
+
+impl std::fmt::Debug for Vp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vp").field("name", &self.cfg.name).finish()
+    }
+}
+
+/// Handle to a spawned thread's eventual result (cf. `pthread_chanter_join`).
+pub struct JoinHandle<T> {
+    vp: Arc<Vp>,
+    tid: Tid,
+    detached: bool,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl Vp {
+    /// Create a new, empty virtual processor.
+    pub fn new(cfg: VpConfig) -> Arc<Vp> {
+        install_cancel_hook();
+        Arc::new(Vp {
+            cfg,
+            inner: Mutex::new(Inner {
+                tcbs: HashMap::new(),
+                ready: Default::default(),
+                next_tid: MAIN_TID,
+                live: 0,
+                current: None,
+                shutdown: false,
+            }),
+            done_cv: Condvar::new(),
+            hooks: RwLock::new(Arc::new(Vec::new())),
+            stats: VpStats::default(),
+        })
+    }
+
+    /// The VP's configured name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Scheduling statistics for this VP.
+    pub fn stats(&self) -> &VpStats {
+        &self.stats
+    }
+
+    /// Install a scheduler hook. Hooks run at every schedule point in
+    /// installation order; see [`crate::SchedulerHook`].
+    pub fn install_hook(&self, hook: Arc<dyn crate::SchedulerHook>) {
+        let mut guard = self.hooks.write();
+        let mut v: Vec<HookRef> = guard.as_ref().clone();
+        v.push(hook);
+        *guard = Arc::new(v);
+    }
+
+    /// Remove all scheduler hooks.
+    pub fn clear_hooks(&self) {
+        *self.hooks.write() = Arc::new(Vec::new());
+    }
+
+    fn hooks_snapshot(&self) -> Arc<Vec<HookRef>> {
+        Arc::clone(&self.hooks.read())
+    }
+
+    /// Spawn a user-level thread on this VP. May be called from outside
+    /// the VP (before or after [`Vp::start`]) or from one of its threads
+    /// (cf. `pthread_chanter_create` with `pe == LOCAL`).
+    ///
+    /// The thread does not run until the scheduler dispatches it.
+    pub fn spawn<T, F>(self: &Arc<Vp>, attr: SpawnAttr, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&Arc<Vp>) -> T + Send + 'static,
+    {
+        let (tcb, detached) = {
+            let mut inner = self.inner.lock();
+            assert!(!inner.shutdown, "spawn on a shut-down VP");
+            let tid = inner.next_tid;
+            inner.next_tid += 1;
+            let name = attr
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("{}-t{}", self.cfg.name, tid));
+            let tcb = Tcb::new(tid, name, attr.priority, attr.detached);
+            inner.tcbs.insert(tid, Arc::clone(&tcb));
+            inner.live += 1;
+            inner.push_ready(&tcb);
+            (tcb, attr.detached)
+        };
+        VpStats::bump(&self.stats.spawned);
+
+        let vp = Arc::clone(self);
+        let tcb_for_thread = Arc::clone(&tcb);
+        let mut builder =
+            std::thread::Builder::new().name(format!("{}:{}", self.cfg.name, tcb.name));
+        if let Some(sz) = attr.stack_size {
+            builder = builder.stack_size(sz);
+        }
+        builder
+            .spawn(move || {
+                let me = tcb_for_thread;
+                current::set_current(Some(UltContext {
+                    vp: Arc::clone(&vp),
+                    tcb: Arc::clone(&me),
+                }));
+                // Wait for the first dispatch before touching user code.
+                me.permit.wait();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&vp)));
+                let outcome = match result {
+                    Ok(v) => Outcome::Value(Box::new(v) as Box<dyn Any + Send>),
+                    Err(payload) if payload.is::<CancelPayload>() => Outcome::Cancelled,
+                    Err(payload) => Outcome::Panicked(payload),
+                };
+                vp.finish(&me, outcome);
+                current::set_current(None);
+            })
+            .expect("failed to spawn backing OS thread for a user-level thread");
+
+        JoinHandle {
+            vp: Arc::clone(self),
+            tid: tcb.id,
+            detached,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Run the scheduler from the calling (non-ULT) thread until every
+    /// thread of the VP has finished. Typically called once after the
+    /// initial spawns; threads spawned later by running threads are
+    /// awaited too.
+    pub fn start(self: &Arc<Vp>) {
+        assert!(
+            !current::is_ult_context(),
+            "Vp::start must not be called from a user-level thread"
+        );
+        self.reschedule(None, Departure::Bootstrap);
+        let mut inner = self.inner.lock();
+        while inner.live > 0 {
+            self.done_cv.wait(&mut inner);
+        }
+    }
+
+    /// Convenience: spawn `f` as the main thread, run the VP to
+    /// completion, and return `f`'s value.
+    pub fn run<T, F>(self: &Arc<Vp>, f: F) -> Result<T, JoinError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&Arc<Vp>) -> T + Send + 'static,
+    {
+        let h = self.spawn(SpawnAttr::new().name("main"), f);
+        self.start();
+        h.join()
+    }
+
+    // ------------------------------------------------------------------
+    // Operations invoked by the currently running thread.
+    // ------------------------------------------------------------------
+
+    fn current_tcb(self: &Arc<Vp>) -> Arc<Tcb> {
+        current::with_current(|c| {
+            let ctx = c.expect("not inside a user-level thread");
+            assert!(
+                Arc::ptr_eq(&ctx.vp, self),
+                "thread belongs to a different VP"
+            );
+            Arc::clone(&ctx.tcb)
+        })
+    }
+
+    /// Yield the processor to the next ready thread, as determined by the
+    /// scheduler (cf. `pthread_chanter_yield`). Cancellation point.
+    pub fn yield_now(self: &Arc<Vp>) {
+        let me = self.current_tcb();
+        self.testcancel_tcb(&me);
+        VpStats::bump(&self.stats.yields);
+        {
+            let mut inner = self.inner.lock();
+            me.life.lock().phase = Phase::Ready;
+            inner.push_ready(&me);
+        }
+        self.reschedule(Some(&me), Departure::Yield);
+        self.testcancel_tcb(&me);
+    }
+
+    /// Block the calling thread until some other agent calls
+    /// [`Vp::unblock`] for it. A wakeup that raced ahead of the block (the
+    /// "token" case) is consumed instead of blocking. Cancellation point.
+    pub fn block(self: &Arc<Vp>) {
+        let me = self.current_tcb();
+        self.testcancel_tcb(&me);
+        {
+            let inner = self.inner.lock();
+            let mut life = me.life.lock();
+            if me.cancel_requested.load(Ordering::Relaxed) {
+                return; // re-checked below; don't sleep through a cancel
+            }
+            if std::mem::take(&mut *inner_token(&me)) {
+                return; // consume a pending wakeup token
+            }
+            life.phase = Phase::Blocked;
+            drop(life);
+            drop(inner); // held until here to order against unblock
+        }
+        VpStats::bump(&self.stats.blocks);
+        self.reschedule(Some(&me), Departure::Block);
+        self.testcancel_tcb(&me);
+    }
+
+    /// Make a blocked thread ready again. If the target is not currently
+    /// blocked, a wakeup token is left for its next [`Vp::block`]. May be
+    /// called from any OS thread, including scheduler hooks.
+    pub fn unblock(&self, tid: Tid) -> Result<(), UltError> {
+        let mut inner = self.inner.lock();
+        let tcb = inner
+            .tcbs
+            .get(&tid)
+            .cloned()
+            .ok_or(UltError::NoSuchThread(tid))?;
+        let mut life = tcb.life.lock();
+        match life.phase {
+            Phase::Blocked => {
+                life.phase = Phase::Ready;
+                drop(life);
+                inner.push_ready(&tcb);
+                VpStats::bump(&self.stats.unblocks);
+            }
+            Phase::Done => {}
+            _ => {
+                drop(life);
+                inner_token_set(&tcb);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store a pending poll request in the calling thread's TCB (the PS
+    /// algorithm's per-TCB request slot, paper §4.2).
+    pub fn set_current_pending(self: &Arc<Vp>, poll: Box<dyn PendingPoll>) {
+        let me = self.current_tcb();
+        me.set_pending(poll);
+    }
+
+    /// Clear and return the calling thread's pending poll request.
+    pub fn take_current_pending(self: &Arc<Vp>) -> Option<Box<dyn PendingPoll>> {
+        let me = self.current_tcb();
+        me.take_pending()
+    }
+
+    /// Request cancellation of a thread (cf. `pthread_chanter_cancel`).
+    /// Delivery is cooperative: the target exits at its next cancellation
+    /// point (`yield_now`, `block`, or an explicit [`Vp::testcancel`]).
+    pub fn cancel(&self, tid: Tid) -> Result<(), UltError> {
+        let tcb = {
+            let inner = self.inner.lock();
+            inner
+                .tcbs
+                .get(&tid)
+                .cloned()
+                .ok_or(UltError::NoSuchThread(tid))?
+        };
+        tcb.cancel_requested.store(true, Ordering::Relaxed);
+        // If it is blocked, wake it so it can observe the request.
+        let _ = self.unblock(tid);
+        Ok(())
+    }
+
+    /// Explicit cancellation point for long computations.
+    pub fn testcancel(self: &Arc<Vp>) {
+        let me = self.current_tcb();
+        self.testcancel_tcb(&me);
+    }
+
+    fn testcancel_tcb(&self, me: &Tcb) {
+        if me.cancel_requested.load(Ordering::Relaxed) {
+            panic::panic_any(CancelPayload);
+        }
+    }
+
+    /// Change a thread's priority class.
+    pub fn set_priority(&self, tid: Tid, priority: Priority) -> Result<(), UltError> {
+        let inner = self.inner.lock();
+        let tcb = inner.tcbs.get(&tid).ok_or(UltError::NoSuchThread(tid))?;
+        tcb.set_priority(priority);
+        // Note: if the thread is already queued, it stays in its old class
+        // until next requeue — matching typical pthread implementations.
+        Ok(())
+    }
+
+    /// Mark a thread detached so its resources are reclaimed on exit
+    /// (cf. `pthread_chanter_detach`).
+    pub fn detach(&self, tid: Tid) -> Result<(), UltError> {
+        let mut inner = self.inner.lock();
+        let tcb = inner
+            .tcbs
+            .get(&tid)
+            .cloned()
+            .ok_or(UltError::NoSuchThread(tid))?;
+        tcb.detached.store(true, Ordering::Relaxed);
+        let done = tcb.life.lock().phase == Phase::Done;
+        if done {
+            inner.tcbs.remove(&tid);
+        }
+        Ok(())
+    }
+
+    /// Introspect a thread.
+    pub fn thread_info(&self, tid: Tid) -> Option<ThreadInfo> {
+        let inner = self.inner.lock();
+        let tcb = inner.tcbs.get(&tid)?;
+        let state = match tcb.life.lock().phase {
+            Phase::Ready => ThreadState::Ready,
+            Phase::Running => ThreadState::Running,
+            Phase::Blocked => ThreadState::Blocked,
+            Phase::Done => ThreadState::Done,
+        };
+        Some(ThreadInfo {
+            id: tcb.id,
+            name: tcb.name.clone(),
+            priority: tcb.priority(),
+            state,
+            detached: tcb.detached.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Number of threads that have not yet finished.
+    pub fn live_threads(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    // ------------------------------------------------------------------
+    // The dispatcher.
+    // ------------------------------------------------------------------
+
+    /// Thread exit: record the outcome, wake joiners, hand off the baton.
+    fn finish(self: &Arc<Vp>, me: &Arc<Tcb>, outcome: Outcome) {
+        let joiners: Vec<Tid> = {
+            let mut life = me.life.lock();
+            life.phase = Phase::Done;
+            life.outcome = Some(outcome);
+            std::mem::take(&mut life.joiners)
+        };
+        me.ext_cv_notify();
+        for j in joiners {
+            let _ = self.unblock(j);
+        }
+        {
+            let mut inner = self.inner.lock();
+            if me.detached.load(Ordering::Relaxed) {
+                inner.tcbs.remove(&me.id);
+            }
+            inner.live -= 1;
+            VpStats::bump(&self.stats.exited);
+            if inner.live == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+        self.reschedule(Some(me), Departure::Exit);
+    }
+
+    /// Core scheduling loop. Runs on the departing thread's OS thread (or
+    /// the bootstrap thread); returns once the baton has been handed off —
+    /// for `Yield`/`Block` departures, only after *this* thread has been
+    /// granted the baton again.
+    fn reschedule(self: &Arc<Vp>, me: Option<&Arc<Tcb>>, dep: Departure) {
+        let mut empty_rounds: u64 = 0;
+        loop {
+            VpStats::bump(&self.stats.schedule_points);
+            let hooks = self.hooks_snapshot();
+            for h in hooks.iter() {
+                h.at_schedule_point();
+            }
+            let wants_check = hooks.iter().any(|h| h.wants_dispatch_check());
+
+            // Examine at most one full round of the ready queue; requeued
+            // (partially switched) candidates are held aside until the
+            // round ends so a high-priority thread with an unready pending
+            // request cannot monopolize the round, then retried next round
+            // after the schedule-point hooks have run again.
+            let round_len = {
+                let inner = self.inner.lock();
+                inner.ready_len()
+            };
+            let mut deferred: Vec<Arc<Tcb>> = Vec::new();
+            let mut dispatched = false;
+            let mut examined = 0usize;
+            while examined < round_len.max(1) {
+                let cand = {
+                    let mut inner = self.inner.lock();
+                    inner.pop_ready()
+                };
+                let Some(tid) = cand else { break };
+                examined += 1;
+                let tcb = {
+                    let inner = self.inner.lock();
+                    match inner.tcbs.get(&tid) {
+                        Some(t) => Arc::clone(t),
+                        None => continue, // reaped while queued
+                    }
+                };
+                if tcb.life.lock().phase == Phase::Done {
+                    continue; // stale queue entry for an exited thread
+                }
+
+                // A cancel-requested thread must run so it can observe the
+                // request at its next cancellation point, even if a polling
+                // hook would otherwise keep requeueing it.
+                let decision = if tcb.cancel_requested.load(Ordering::Relaxed) {
+                    DispatchDecision::Run
+                } else if wants_check {
+                    let pending = tcb.pending.lock();
+                    let mut d = DispatchDecision::Run;
+                    for h in hooks.iter().filter(|h| h.wants_dispatch_check()) {
+                        d = h.before_dispatch(tid, pending.as_deref());
+                        if d == DispatchDecision::Requeue {
+                            break;
+                        }
+                    }
+                    d
+                } else {
+                    DispatchDecision::Run
+                };
+
+                match decision {
+                    DispatchDecision::Requeue => {
+                        VpStats::bump(&self.stats.partial_switches);
+                        deferred.push(tcb);
+                    }
+                    DispatchDecision::Run => {
+                        // Requeue the partially-switched candidates before
+                        // handing off, or they would be lost.
+                        {
+                            let mut inner = self.inner.lock();
+                            for t in deferred.drain(..) {
+                                inner.push_ready(&t);
+                            }
+                        }
+                        self.dispatch_to(&tcb, me, dep);
+                        dispatched = true;
+                        break;
+                    }
+                }
+            }
+            if dispatched {
+                return;
+            }
+            if !deferred.is_empty() {
+                let mut inner = self.inner.lock();
+                for t in deferred.drain(..) {
+                    inner.push_ready(&t);
+                }
+            }
+
+            // Nothing runnable this round.
+            {
+                let inner = self.inner.lock();
+                if inner.live == 0 {
+                    self.done_cv.notify_all();
+                    debug_assert!(
+                        matches!(dep, Departure::Exit | Departure::Bootstrap),
+                        "a live thread found the VP empty"
+                    );
+                    return;
+                }
+            }
+            empty_rounds += 1;
+            VpStats::bump(&self.stats.idle_spins);
+            if hooks.is_empty() && empty_rounds > self.cfg.deadlock_spin_limit {
+                // Unwedge the VP: cancel every blocked thread so they all
+                // unwind in an orderly fashion, then report the deadlock by
+                // panicking the detecting thread (whose joiner sees it).
+                let blocked: Vec<Tid> = {
+                    let inner = self.inner.lock();
+                    inner
+                        .tcbs
+                        .values()
+                        .filter(|t| t.life.lock().phase == Phase::Blocked)
+                        .map(|t| t.id)
+                        .collect()
+                };
+                for t in &blocked {
+                    let _ = self.cancel(*t);
+                }
+                panic!(
+                    "ULT deadlock on VP '{}': {} thread(s) blocked with none ready and \
+                     no scheduler hooks that could make progress (cancelled: {blocked:?})",
+                    self.cfg.name,
+                    blocked.len()
+                );
+            }
+            if empty_rounds > u64::from(self.cfg.idle_spins_before_os_yield) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Complete a context switch to `next`.
+    fn dispatch_to(self: &Arc<Vp>, next: &Arc<Tcb>, me: Option<&Arc<Tcb>>, dep: Departure) {
+        {
+            let mut inner = self.inner.lock();
+            inner.current = Some(next.id);
+            next.life.lock().phase = Phase::Running;
+        }
+        if let Some(me) = me {
+            if me.id == next.id {
+                // "The scheduler simply returns without having to perform a
+                // context switch" (paper §4.1). Give the OS scheduler a
+                // chance first: a lone thread self-redispatching is almost
+                // always polling for another VP's progress, and on a
+                // single-CPU host that VP needs the core to make any.
+                VpStats::bump(&self.stats.self_redispatches);
+                debug_assert!(dep != Departure::Exit, "exiting thread re-dispatched");
+                std::thread::yield_now();
+                return;
+            }
+        }
+        VpStats::bump(&self.stats.full_switches);
+        next.permit.grant();
+        match dep {
+            Departure::Yield | Departure::Block => {
+                let me = me.expect("yield/block without a current thread");
+                me.permit.wait();
+            }
+            Departure::Exit | Departure::Bootstrap => {}
+        }
+    }
+}
+
+// Wakeup-token plumbing. Kept as free functions so `block` can express
+// "check and consume the token while holding the run-queue lock".
+fn inner_token(tcb: &Tcb) -> parking_lot::MutexGuard<'_, bool> {
+    tcb.wake_token.lock()
+}
+
+fn inner_token_set(tcb: &Tcb) {
+    *tcb.wake_token.lock() = true;
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// The local thread id this handle refers to.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Wait for the thread to finish and return its value. Callable from a
+    /// user-level thread of the same VP (blocks cooperatively) or from an
+    /// ordinary OS thread (blocks the OS thread).
+    pub fn join(self) -> Result<T, JoinError> {
+        if self.detached {
+            return Err(UltError::Detached(self.tid).into());
+        }
+        let tcb = {
+            let inner = self.vp.inner.lock();
+            inner
+                .tcbs
+                .get(&self.tid)
+                .cloned()
+                .ok_or(UltError::NoSuchThread(self.tid))?
+        };
+
+        let from_ult = current::with_current(|c| {
+            c.map(|ctx| (Arc::ptr_eq(&ctx.vp, &self.vp), ctx.tcb.id))
+        });
+
+        match from_ult {
+            Some((true, my_tid)) => {
+                if my_tid == self.tid {
+                    return Err(UltError::JoinSelf(self.tid).into());
+                }
+                loop {
+                    {
+                        let mut life = tcb.life.lock();
+                        if life.phase == Phase::Done {
+                            break;
+                        }
+                        if !life.joiners.contains(&my_tid) {
+                            life.joiners.push(my_tid);
+                        }
+                    }
+                    self.vp.block();
+                }
+            }
+            _ => {
+                // External OS thread (or a ULT of another VP, which we
+                // treat the same way: park its OS thread).
+                let mut life = tcb.life.lock();
+                while life.phase != Phase::Done {
+                    tcb.ext_cv.wait(&mut life);
+                }
+            }
+        }
+
+        let outcome = {
+            let mut life = tcb.life.lock();
+            if life.joined {
+                return Err(UltError::AlreadyJoined(self.tid).into());
+            }
+            life.joined = true;
+            life.outcome.take()
+        };
+        // Reap the zombie now that its value is claimed.
+        self.vp.inner.lock().tcbs.remove(&self.tid);
+
+        match outcome {
+            Some(Outcome::Value(v)) => Ok(*v
+                .downcast::<T>()
+                .expect("join handle type mismatch (internal error)")),
+            Some(Outcome::Panicked(p)) => Err(JoinError::Panicked(p)),
+            Some(Outcome::Cancelled) => Err(JoinError::Cancelled),
+            None => Err(UltError::AlreadyJoined(self.tid).into()),
+        }
+    }
+
+    /// True once the thread has finished (join would not block).
+    pub fn is_finished(&self) -> bool {
+        let inner = self.vp.inner.lock();
+        match inner.tcbs.get(&self.tid) {
+            Some(tcb) => tcb.life.lock().phase == Phase::Done,
+            None => true,
+        }
+    }
+}
+
+/// Yield the current user-level thread (free-function convenience).
+///
+/// # Panics
+/// Panics if the caller is not a user-level thread.
+pub fn yield_now() {
+    let vp = current::current_vp().expect("yield_now outside a user-level thread");
+    vp.yield_now();
+}
+
+/// Whether a caught panic payload is this crate's cancellation unwind.
+///
+/// Runtimes layered above (like Chant) that wrap user code in their own
+/// `catch_unwind` must re-raise such payloads with
+/// `std::panic::resume_unwind` so the thread's outcome is recorded as
+/// `Cancelled` rather than a value.
+pub fn is_cancel_payload(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<CancelPayload>()
+}

@@ -1,0 +1,18 @@
+//! # Chant: a talking threads package (Rust reproduction)
+//!
+//! This is a facade crate re-exporting the whole Chant workspace:
+//!
+//! * [`ult`] — the user-level cooperative threads substrate;
+//! * [`comm`] — the NX/MPI-style message-passing substrate;
+//! * [`chant`](mod@chant) — the Chant runtime itself (global thread ids,
+//!   point-to-point messaging among threads, remote service requests,
+//!   global thread operations);
+//! * [`sim`] — the calibrated discrete-event simulator used to regenerate
+//!   the paper's tables and figures.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use chant_comm as comm;
+pub use chant_core as chant;
+pub use chant_sim as sim;
+pub use chant_ult as ult;
