@@ -1,0 +1,76 @@
+//! Emit a machine-readable perf snapshot of the matching-table
+//! microbenchmarks: runs the same bodies as the `matching_ops` bench
+//! target in measure mode and dumps each benchmark's median ns/op to
+//! `bench_results/BENCH_PR1.json`.
+//!
+//! CI (or a reviewer) diffs this file across commits to catch matching
+//! or completion-inquiry regressions without eyeballing criterion
+//! output. The `flat_within` ratios pre-compute the acceptance check:
+//! cost at the largest outstanding population over cost at the smallest,
+//! per benchmark group (≈ 1.0 when the operation is O(1) in outstanding
+//! requests).
+
+use std::collections::BTreeMap;
+
+use criterion::Criterion;
+use serde::Serialize;
+
+use chant_bench::{matching, results_dir};
+
+/// One benchmark's measured median.
+#[derive(Serialize)]
+struct BenchLine {
+    id: String,
+    median_ns: f64,
+}
+
+/// The snapshot file's schema.
+#[derive(Serialize)]
+struct Snapshot {
+    snapshot: String,
+    benches: Vec<BenchLine>,
+    /// Per group: median at max outstanding / median at min outstanding.
+    flat_within: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let mut c = Criterion::measured();
+    matching::run_all(&mut c);
+
+    let results = criterion::take_results();
+    let mut flat_within: BTreeMap<String, f64> = BTreeMap::new();
+    // Group ids look like "matching/<group>/<outstanding>"; the sweep is
+    // ordered, so the first entry per group is the smallest population
+    // and the last is the largest.
+    let mut edges: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for r in &results {
+        if let Some((group, _)) = r.id.rsplit_once('/') {
+            edges
+                .entry(group.to_string())
+                .and_modify(|(_, last)| *last = r.median_ns)
+                .or_insert((r.median_ns, r.median_ns));
+        }
+    }
+    for (group, (first, last)) in edges {
+        if first > 0.0 {
+            flat_within.insert(group, last / first);
+        }
+    }
+
+    let snapshot = Snapshot {
+        snapshot: "BENCH_PR1".to_string(),
+        benches: results
+            .into_iter()
+            .map(|r| BenchLine {
+                id: r.id,
+                median_ns: r.median_ns,
+            })
+            .collect(),
+        flat_within,
+    };
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    let path = results_dir().join("BENCH_PR1.json");
+    std::fs::write(&path, json + "\n").expect("write snapshot");
+    println!("wrote {}", path.display());
+}

@@ -15,6 +15,8 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod matching;
+
 /// The paper's published numbers, transcribed from the text.
 pub mod paper {
     /// Table 1: thread create/switch times (µs) on a Sun SparcStation 10.

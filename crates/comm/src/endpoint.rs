@@ -10,8 +10,35 @@
 //! into the receive's buffer (and counted in
 //! [`CommStats::posted_matches`]); only an *unexpected* message is parked
 //! in a system queue (counted in [`CommStats::unexpected_buffered`]).
+//!
+//! ## Matching structure
+//!
+//! Both sides of the two-sided match are indexed so the common cases are
+//! O(1) in the number of outstanding requests/messages, while preserving
+//! the exact observable semantics of a linear scan (FIFO per matching
+//! pair, earliest-posted receive wins, earliest-arrived message wins):
+//!
+//! * **Posted receives** are bucketed by their full selection shape
+//!   `(src filter, tag filter, kind)`, each bucket FIFO in posting
+//!   order and stamped with a monotone posting sequence number. An
+//!   arriving header can only be claimed by one of four shapes (exact
+//!   src or wildcard × exact tag or wildcard), so delivery probes at
+//!   most four buckets and takes the candidate with the *smallest
+//!   posting sequence* — exactly the receive a front-to-back scan of
+//!   one posting-ordered list would have found. Context filters are not
+//!   hashable (they may be masked), so each probe skips over
+//!   ctx-mismatching entries within its bucket.
+//! * **Unexpected messages** live in a master `BTreeMap` keyed by a
+//!   monotone arrival sequence (iteration order = arrival order) plus
+//!   two secondary indexes: `(src, tag, kind) → arrival seqs` for
+//!   fully-selective receives and `(tag, kind) → arrival seqs` for the
+//!   NX-style tag-only receive (any source). Tag-wildcard receives walk
+//!   the master map in arrival order — no worse than the former linear
+//!   scan. Claims remove the message from all structures (bucket
+//!   entries are seq-sorted, so removal is a binary search), keeping
+//!   the indexes exact with no lazy-deletion growth.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
@@ -28,13 +55,155 @@ struct PostedRecv {
     shared: Arc<RecvShared>,
 }
 
+/// A posted receive's selection shape: `(src filter, tag filter, kind)`.
+/// `tag == ANY_TAG` is the wildcard bucket for its `(src, kind)`.
+type PostKey = (Option<Address>, i32, u8);
+
+/// An unexpected message's exact shape: `(src, tag, kind)`.
+type MsgKey = (Address, i32, u8);
+
 #[derive(Default)]
 struct EndpointInner {
-    /// Receives posted and not yet matched, in posting order.
-    posted: VecDeque<PostedRecv>,
-    /// Messages that arrived with no matching posted receive, in arrival
-    /// order (the "system buffer" the zero-copy path avoids).
-    unexpected: VecDeque<(Header, Bytes)>,
+    /// Receives posted and not yet matched, bucketed by selection shape;
+    /// each bucket FIFO in posting order, stamped with the posting seq.
+    posted: HashMap<PostKey, VecDeque<(u64, PostedRecv)>>,
+    /// Total entries across `posted` buckets.
+    posted_count: usize,
+    /// Next posting sequence number.
+    post_seq: u64,
+    /// Messages that arrived with no matching posted receive, keyed by
+    /// arrival sequence (the "system buffer" the zero-copy path avoids).
+    unexpected: BTreeMap<u64, (Header, Bytes)>,
+    /// Exact-shape index over `unexpected`: arrival seqs, ascending.
+    unexpected_by_key: HashMap<MsgKey, VecDeque<u64>>,
+    /// Tag-only index over `unexpected` (`(tag, kind)`): arrival seqs,
+    /// ascending. Serves receives with an exact tag but wildcard source.
+    unexpected_by_tag: HashMap<(i32, u8), VecDeque<u64>>,
+    /// Next arrival sequence number.
+    arrival_seq: u64,
+}
+
+impl EndpointInner {
+    /// The bucket keys that could hold a receive matching `header`, most
+    /// selective first (order is irrelevant for correctness: the winner
+    /// is the minimum posting seq across all four probes).
+    fn candidate_keys(header: &Header) -> [PostKey; 4] {
+        [
+            (Some(header.src), header.tag, header.kind),
+            (Some(header.src), ANY_TAG, header.kind),
+            (None, header.tag, header.kind),
+            (None, ANY_TAG, header.kind),
+        ]
+    }
+
+    /// Find the earliest-posted receive matching `header`, as a
+    /// `(bucket key, index within bucket)` pair.
+    fn find_posted(&self, header: &Header) -> Option<(PostKey, usize)> {
+        let mut best: Option<(PostKey, usize, u64)> = None;
+        for key in Self::candidate_keys(header) {
+            let Some(bucket) = self.posted.get(&key) else {
+                continue;
+            };
+            // Src/tag/kind match by bucket construction; only the ctx
+            // filter can still reject, so skip past mismatches.
+            let hit = bucket
+                .iter()
+                .enumerate()
+                .find(|(_, (_, p))| p.spec.ctx.matches(header.ctx));
+            if let Some((i, &(seq, ref p))) = hit {
+                debug_assert!(p.spec.matches(header), "bucket key out of sync with spec");
+                if best.is_none_or(|(_, _, s)| seq < s) {
+                    best = Some((key, i, seq));
+                }
+            }
+        }
+        best.map(|(key, i, _)| (key, i))
+    }
+
+    /// Remove and return the posted receive at `(key, index)`.
+    fn take_posted(&mut self, key: PostKey, index: usize) -> PostedRecv {
+        let bucket = self.posted.get_mut(&key).expect("bucket just probed");
+        let (_, posted) = bucket.remove(index).expect("index just found");
+        if bucket.is_empty() {
+            self.posted.remove(&key);
+        }
+        self.posted_count -= 1;
+        posted
+    }
+
+    /// Arrival seq of the earliest unexpected message matching `spec`,
+    /// if any. Exact-tag specs use an index (`(src, tag, kind)` when the
+    /// source is exact, `(tag, kind)` when it is a wildcard); tag-
+    /// wildcard specs walk the master map in arrival order.
+    fn find_unexpected(&self, spec: &RecvSpec) -> Option<u64> {
+        match (spec.src, spec.tag) {
+            (Some(src), tag) if tag != ANY_TAG => self
+                .unexpected_by_key
+                .get(&(src, tag, spec.kind))?
+                .iter()
+                .copied()
+                .find(|seq| {
+                    let (h, _) = &self.unexpected[seq];
+                    spec.ctx.matches(h.ctx)
+                }),
+            (None, tag) if tag != ANY_TAG => self
+                .unexpected_by_tag
+                .get(&(tag, spec.kind))?
+                .iter()
+                .copied()
+                .find(|seq| {
+                    let (h, _) = &self.unexpected[seq];
+                    spec.ctx.matches(h.ctx)
+                }),
+            _ => self
+                .unexpected
+                .iter()
+                .find(|(_, (h, _))| spec.matches(h))
+                .map(|(&seq, _)| seq),
+        }
+    }
+
+    /// Remove and return the unexpected message with arrival seq `seq`,
+    /// keeping both secondary indexes consistent.
+    fn take_unexpected(&mut self, seq: u64) -> (Header, Bytes) {
+        let (header, body) = self.unexpected.remove(&seq).expect("seq just found");
+        fn unindex<K: std::hash::Hash + Eq>(
+            index: &mut HashMap<K, VecDeque<u64>>,
+            key: K,
+            seq: u64,
+        ) {
+            let bucket = index.get_mut(&key).expect("indexed message had no bucket");
+            let i = bucket
+                .binary_search(&seq)
+                .expect("indexed message missing from its bucket");
+            bucket.remove(i);
+            if bucket.is_empty() {
+                index.remove(&key);
+            }
+        }
+        unindex(
+            &mut self.unexpected_by_key,
+            (header.src, header.tag, header.kind),
+            seq,
+        );
+        unindex(&mut self.unexpected_by_tag, (header.tag, header.kind), seq);
+        (header, body)
+    }
+
+    /// Park an arriving message in the unexpected store.
+    fn buffer_unexpected(&mut self, header: Header, body: Bytes) {
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.unexpected_by_key
+            .entry((header.src, header.tag, header.kind))
+            .or_default()
+            .push_back(seq);
+        self.unexpected_by_tag
+            .entry((header.tag, header.kind))
+            .or_default()
+            .push_back(seq);
+        self.unexpected.insert(seq, (header, body));
+    }
 }
 
 /// One process's communication endpoint.
@@ -117,16 +286,19 @@ impl Endpoint {
             stats: Arc::clone(&self.stats),
         };
         let mut inner = self.inner.lock();
-        if let Some(pos) = inner
-            .unexpected
-            .iter()
-            .position(|(h, _)| spec.matches(h))
-        {
-            let (header, body) = inner.unexpected.remove(pos).expect("index just found");
+        if let Some(seq) = inner.find_unexpected(&spec) {
+            let (header, body) = inner.take_unexpected(seq);
             CommStats::bump(&self.stats.unexpected_claimed);
             shared.complete(header, body);
         } else {
-            inner.posted.push_back(PostedRecv { spec, shared });
+            let seq = inner.post_seq;
+            inner.post_seq += 1;
+            inner
+                .posted
+                .entry((spec.src, spec.tag, spec.kind))
+                .or_default()
+                .push_back((seq, PostedRecv { spec, shared }));
+            inner.posted_count += 1;
         }
         handle
     }
@@ -147,12 +319,12 @@ impl Endpoint {
     pub fn iprobe(&self, spec: RecvSpec) -> bool {
         CommStats::bump(&self.stats.probes);
         let inner = self.inner.lock();
-        inner.unexpected.iter().any(|(h, _)| spec.matches(h))
+        inner.find_unexpected(&spec).is_some()
     }
 
     /// Number of receives posted but not yet matched.
     pub fn outstanding_recvs(&self) -> usize {
-        self.inner.lock().posted.len()
+        self.inner.lock().posted_count
     }
 
     /// Number of unexpected (buffered) messages waiting.
@@ -168,8 +340,8 @@ impl Endpoint {
         debug_assert_eq!(header.dst, self.addr, "misrouted message");
         debug_assert_ne!(header.tag, ANY_TAG, "wildcard tag in a sent header");
         let mut inner = self.inner.lock();
-        if let Some(pos) = inner.posted.iter().position(|p| p.spec.matches(&header)) {
-            let posted = inner.posted.remove(pos).expect("index just found");
+        if let Some((key, index)) = inner.find_posted(&header) {
+            let posted = inner.take_posted(key, index);
             CommStats::bump(&self.stats.posted_matches);
             // Completing under the endpoint lock keeps per-sender FIFO
             // ordering observable: a later message can never complete an
@@ -177,7 +349,7 @@ impl Endpoint {
             posted.shared.complete(header, body);
         } else {
             CommStats::bump(&self.stats.unexpected_buffered);
-            inner.unexpected.push_back((header, body));
+            inner.buffer_unexpected(header, body);
         }
     }
 }

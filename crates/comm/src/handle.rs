@@ -4,7 +4,8 @@
 //! returns a 'handle' that can be used to check the completion of the
 //! operation at a later point in time" (paper §3.1). [`RecvHandle`] is
 //! that handle; [`RecvHandle::msgtest`] and [`RecvHandle::msgwait`] are
-//! NX's `msgtest`/`msgwait`, and [`testany`] is MPI's `MPI_TEST_ANY`.
+//! NX's `msgtest`/`msgwait`, and [`crate::testany`] is MPI's
+//! `MPI_TEST_ANY`.
 
 use std::sync::Arc;
 
@@ -14,12 +15,16 @@ use parking_lot::{Condvar, Mutex};
 use crate::guard::assert_may_block;
 use crate::header::Header;
 use crate::stats::CommStats;
+use crate::testany::CompletionInner;
 
 #[derive(Default)]
 pub(crate) struct RecvState {
     pub done: bool,
     pub header: Option<Header>,
     pub body: Option<Bytes>,
+    /// Completion-list subscription: on completion, push the token onto
+    /// the subscribed set's ready list (see [`crate::CompletionSet`]).
+    pub notify: Option<(Arc<CompletionInner>, u64)>,
 }
 
 pub(crate) struct RecvShared {
@@ -42,7 +47,39 @@ impl RecvShared {
         st.header = Some(header);
         st.body = Some(body);
         st.done = true;
+        let notify = st.notify.take();
         self.cv.notify_all();
+        drop(st);
+        // Posted-match completions run under the endpoint delivery lock,
+        // so ready-list order is delivery order.
+        if let Some((inner, token)) = notify {
+            inner.ready.lock().push_back(token);
+        }
+    }
+
+    /// Subscribe this receive to a completion list: on completion, push
+    /// `token` onto `inner`'s ready list. An already-complete receive is
+    /// pushed immediately, so the subscriber cannot miss the event.
+    pub fn subscribe(&self, inner: &Arc<CompletionInner>, token: u64) {
+        let mut st = self.state.lock();
+        if st.done {
+            inner.ready.lock().push_back(token);
+        } else {
+            debug_assert!(
+                st.notify.is_none(),
+                "a receive can feed one completion list at a time"
+            );
+            st.notify = Some((Arc::clone(inner), token));
+        }
+    }
+
+    /// Cancel a subscription made with `token` (no-op if the receive has
+    /// already completed or was never subscribed with that token).
+    pub fn unsubscribe(&self, token: u64) {
+        let mut st = self.state.lock();
+        if matches!(st.notify, Some((_, t)) if t == token) {
+            st.notify = None;
+        }
     }
 }
 
@@ -134,26 +171,11 @@ impl SendHandle {
     pub fn msgwait(&self) {}
 }
 
-/// MPI-style `MPI_TEST_ANY`: test a set of outstanding receives with a
-/// *single* call, returning the index of one completed receive, if any.
-///
-/// The Chant paper could not use this on NX ("on other systems, such as
-/// the Intel NX system Chant is currently using, this functionality is
-/// not supported", §4.2) and hypothesised that WQ polling would fare
-/// better with it; this function exists so that hypothesis can be tested.
-/// Exactly one `testany` call is counted (against the first handle's
-/// endpoint), however many requests are covered; the per-request probes
-/// are *not* counted as `msgtest` calls, which is the whole point.
-pub fn testany(handles: &[&RecvHandle]) -> Option<usize> {
-    let first = handles.first()?;
-    CommStats::bump(&first.stats.testany_calls);
-    handles.iter().position(|h| h.is_complete())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::header::{kind, Address};
+    use crate::testany::testany;
 
     fn handle() -> RecvHandle {
         RecvHandle {

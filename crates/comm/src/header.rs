@@ -103,7 +103,8 @@ impl CtxMatch {
         }
     }
 
-    fn matches(&self, ctx: u64) -> bool {
+    /// Does a header's context field satisfy this constraint?
+    pub fn matches(&self, ctx: u64) -> bool {
         match *self {
             CtxMatch::Any => true,
             CtxMatch::Masked { value, mask } => ctx & mask == value,

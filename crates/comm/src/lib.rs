@@ -50,12 +50,14 @@ mod handle;
 mod header;
 mod profile;
 mod stats;
+mod testany;
 mod world;
 
 pub use delay::LatencyModel;
 pub use endpoint::Endpoint;
 pub use guard::set_blocking_guard;
-pub use handle::{testany, RecvHandle, SendHandle};
+pub use handle::{RecvHandle, SendHandle};
+pub use testany::{testany, CompletionSet};
 pub use header::{kind, Address, CtxMatch, Header, RecvSpec, ANY_TAG};
 pub use profile::CommProfile;
 pub use stats::{CommStats, CommStatsSnapshot};

@@ -25,9 +25,10 @@
 //!   call rather than a test for each individual message", possible on
 //!   MPI-class layers.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use chant_comm::{testany, RecvHandle};
+use chant_comm::{CompletionSet, RecvHandle};
 use serde::{Deserialize, Serialize};
 use chant_ult::{current_tid, Priority, SchedulerHook, Tid, Vp};
 use parking_lot::Mutex;
@@ -75,21 +76,45 @@ impl PollingPolicy {
     }
 }
 
+/// The waiting-queue table, in one of the two §4.2 variants.
+enum WqTable {
+    /// NX profile: a flat request list, every entry `msgtest`ed in turn
+    /// at each schedule point.
+    Nx(Vec<(Tid, RecvHandle)>),
+    /// MPI profile: an event-driven [`CompletionSet`] plus the token ↔
+    /// thread bookkeeping, so each `msgtestany` call is O(completed)
+    /// rather than a scan of every outstanding request.
+    Testany {
+        set: CompletionSet,
+        owner: HashMap<u64, Tid>,
+        /// A thread's tokens (several under wait-any), for wake-once
+        /// cleanup of its sibling entries.
+        by_tid: HashMap<Tid, Vec<u64>>,
+    },
+}
+
 /// The waiting queue shared between blocking receives and the scheduler
 /// hook (WQ policies). "The scheduler polls method is based on a list of
 /// polling requests that are examined at each scheduling point" (§4.2).
 pub(crate) struct WqHook {
     vp: Mutex<Option<Arc<Vp>>>,
-    entries: Mutex<Vec<(Tid, RecvHandle)>>,
-    use_testany: bool,
+    table: Mutex<WqTable>,
 }
 
 impl WqHook {
     fn new(use_testany: bool) -> Arc<WqHook> {
+        let table = if use_testany {
+            WqTable::Testany {
+                set: CompletionSet::new(),
+                owner: HashMap::new(),
+                by_tid: HashMap::new(),
+            }
+        } else {
+            WqTable::Nx(Vec::new())
+        };
         Arc::new(WqHook {
             vp: Mutex::new(None),
-            entries: Mutex::new(Vec::new()),
-            use_testany,
+            table: Mutex::new(table),
         })
     }
 
@@ -98,13 +123,23 @@ impl WqHook {
     }
 
     fn register(&self, tid: Tid, handle: RecvHandle) {
-        self.entries.lock().push((tid, handle));
+        match &mut *self.table.lock() {
+            WqTable::Nx(entries) => entries.push((tid, handle)),
+            WqTable::Testany { set, owner, by_tid } => {
+                let token = set.insert(handle);
+                owner.insert(token, tid);
+                by_tid.entry(tid).or_default().push(token);
+            }
+        }
     }
 
     /// Number of requests currently waiting (used by tests and metrics).
     #[allow(dead_code)]
     pub fn waiting(&self) -> usize {
-        self.entries.lock().len()
+        match &*self.table.lock() {
+            WqTable::Nx(entries) => entries.len(),
+            WqTable::Testany { set, .. } => set.len(),
+        }
     }
 }
 
@@ -113,41 +148,41 @@ impl SchedulerHook for WqHook {
         let Some(vp) = self.vp.lock().clone() else {
             return;
         };
-        let mut entries = self.entries.lock();
-        if entries.is_empty() {
-            return;
-        }
-        if self.use_testany {
-            // One msgtestany call per completed request (plus a final
-            // call returning "none"), instead of one msgtest per request.
-            loop {
-                let refs: Vec<&RecvHandle> = entries.iter().map(|(_, h)| h).collect();
-                match testany(&refs) {
-                    Some(i) => {
-                        let (tid, _) = entries.swap_remove(i);
-                        // Drop the thread's other wait-any entries so it
-                        // is woken exactly once.
-                        entries.retain(|(t, _)| *t != tid);
-                        let _ = vp.unblock(tid);
+        match &mut *self.table.lock() {
+            WqTable::Testany { set, owner, by_tid } => {
+                // One msgtestany call per completed request (plus a final
+                // call returning "none") — the counting the free-function
+                // loop had, but each call pops the completion list
+                // instead of probing every entry.
+                while let Some(token) = set.testany() {
+                    let tid = owner.remove(&token).expect("token without an owner");
+                    // Drop the thread's other wait-any entries so it is
+                    // woken exactly once.
+                    for sibling in by_tid.remove(&tid).unwrap_or_default() {
+                        if sibling != token {
+                            set.remove(sibling);
+                            owner.remove(&sibling);
+                        }
                     }
-                    None => break,
+                    let _ = vp.unblock(tid);
                 }
             }
-        } else {
-            // NX style: "each outstanding request will be tested in turn.
-            // This implies that all outstanding messages are checked at
-            // each context switch" (§4.2).
-            let mut i = 0;
-            while i < entries.len() {
-                if entries[i].1.msgtest() {
-                    let (tid, _) = entries.swap_remove(i);
-                    // A thread may have registered several requests
-                    // (wait-any); drop its other entries so it is woken
-                    // exactly once.
-                    entries.retain(|(t, _)| *t != tid);
-                    let _ = vp.unblock(tid);
-                } else {
-                    i += 1;
+            WqTable::Nx(entries) => {
+                // NX style: "each outstanding request will be tested in
+                // turn. This implies that all outstanding messages are
+                // checked at each context switch" (§4.2).
+                let mut i = 0;
+                while i < entries.len() {
+                    if entries[i].1.msgtest() {
+                        let (tid, _) = entries.swap_remove(i);
+                        // A thread may have registered several requests
+                        // (wait-any); drop its other entries so it is
+                        // woken exactly once.
+                        entries.retain(|(t, _)| *t != tid);
+                        let _ = vp.unblock(tid);
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }

@@ -32,9 +32,14 @@ pub struct CostModel {
     pub crecv_claim_ns: Ns,
     /// One `msgtest` call against the message system.
     pub msgtest_ns: Ns,
-    /// Base cost of a `msgtestany` call (MPI-style)...
+    /// Cost of a `msgtestany` call (MPI-style). With the completion-list
+    /// implementation the inquiry is O(1) in outstanding requests, so
+    /// this base price is the whole cost.
     pub testany_base_ns: Ns,
-    /// ...plus this much per covered request.
+    /// Per-covered-request surcharge of a *scanning* `msgtestany`
+    /// (the pre-completion-list implementation). Retained so recorded
+    /// cost models keep deserializing and for ablations that model a
+    /// linear-scan communication layer; the engine no longer charges it.
     pub testany_per_req_ns: Ns,
     /// A complete context switch (save + restore to a different thread).
     pub ctxsw_full_ns: Ns,

@@ -52,7 +52,7 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// Resume a VP: run its current thread or its scheduler.
     VpStep(usize),
@@ -67,8 +67,11 @@ pub struct Engine {
     cost: CostModel,
     mode: LayerMode,
     vps: Vec<SimVp>,
-    heap: BinaryHeap<Reverse<(Ns, u64, usize, EvKey)>>,
-    events: Vec<Ev>,
+    /// The event queue. `Ev` is small and totally ordered, so the whole
+    /// payload lives inline in the heap key: no side table to grow for
+    /// the life of the run, no indirection per pop. The `seq` component
+    /// keeps same-timestamp events FIFO.
+    heap: BinaryHeap<Reverse<(Ns, u64, Ev)>>,
     seq: u64,
     max_events: u64,
     /// Multiplicative compute noise: percent amplitude and LCG state.
@@ -76,11 +79,6 @@ pub struct Engine {
     jitter_state: u64,
     trace: Option<Trace>,
 }
-
-/// Key stored in the heap; the payload lives in `events` so the heap key
-/// stays `Copy` and totally ordered.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct EvKey(usize);
 
 impl Engine {
     /// Create an engine with `n_vps` processors.
@@ -90,7 +88,6 @@ impl Engine {
             mode,
             vps: (0..n_vps).map(|_| SimVp::new()).collect(),
             heap: BinaryHeap::new(),
-            events: Vec::new(),
             seq: 0,
             max_events: 200_000_000,
             jitter_pct: 0,
@@ -166,10 +163,8 @@ impl Engine {
     }
 
     fn push(&mut self, at: Ns, ev: Ev) {
-        let idx = self.events.len();
-        self.events.push(ev);
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, idx, EvKey(idx))));
+        self.heap.push(Reverse((at, self.seq, ev)));
     }
 
     fn schedule_step(&mut self, vpi: usize, at: Ns) {
@@ -187,38 +182,64 @@ impl Engine {
         }
 
         let mut processed: u64 = 0;
-        while let Some(Reverse((at, _seq, idx, _))) = self.heap.pop() {
-            processed += 1;
-            if processed > self.max_events {
-                return Err(SimError::EventBudgetExhausted {
-                    budget: self.max_events,
-                });
-            }
-            match self.events[idx] {
-                Ev::VpStep(vpi) => {
-                    self.vps[vpi].step_scheduled = false;
-                    if self.vps[vpi].finished() {
-                        continue;
-                    }
-                    self.vps[vpi].clock = self.vps[vpi].clock.max(at);
-                    self.step(vpi);
+        // Same-timestamp events are drained from the heap in one batch
+        // (they are already in FIFO `seq` order), so processing them
+        // never interleaves sift-downs with the pushes they cause;
+        // events pushed *at* the batch timestamp form the next batch.
+        let mut batch: Vec<Ev> = Vec::new();
+        while let Some(Reverse((at, _seq, ev))) = self.heap.pop() {
+            batch.clear();
+            batch.push(ev);
+            while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+                if t != at {
+                    break;
                 }
-                Ev::Arrive { dst, src, tag } => {
-                    self.emit(dst, at, TraceKind::Arrive { from: src, tag });
-                    if let Some(tid) = self.vps[dst].deliver(src, tag, at) {
-                        // The receive is satisfied: the thread no longer
-                        // waits on an *outstanding* request (Figure 13's
-                        // quantity), even if it resumes later.
-                        let t = self.vps[dst].waiting_floor(at);
-                        self.vps[dst].clear_waiting(tid, t);
+                let Some(Reverse((_, _, ev))) = self.heap.pop() else {
+                    unreachable!("peeked event vanished");
+                };
+                batch.push(ev);
+            }
+            for &ev in &batch {
+                processed += 1;
+                if processed > self.max_events {
+                    return Err(SimError::EventBudgetExhausted {
+                        budget: self.max_events,
+                    });
+                }
+                match ev {
+                    Ev::VpStep(vpi) => {
+                        self.vps[vpi].step_scheduled = false;
+                        if self.vps[vpi].finished() {
+                            continue;
+                        }
+                        self.vps[vpi].clock = self.vps[vpi].clock.max(at);
+                        self.step(vpi);
                     }
-                    // Wake the VP if it was idle; a spurious wake just
-                    // costs one scheduler round.
-                    if self.vps[dst].idle {
-                        self.vps[dst].idle = false;
-                        let wake_at = self.vps[dst].clock.max(at);
-                        self.charge_idle_spin(dst, wake_at);
-                        self.schedule_step(dst, wake_at);
+                    Ev::Arrive { dst, src, tag } => {
+                        self.emit(dst, at, TraceKind::Arrive { from: src, tag });
+                        if let Some(tid) = self.vps[dst].deliver(src, tag, at) {
+                            // The receive is satisfied: the thread no longer
+                            // waits on an *outstanding* request (Figure 13's
+                            // quantity), even if it resumes later.
+                            let t = self.vps[dst].waiting_floor(at);
+                            self.vps[dst].clear_waiting(tid, t);
+                            // Feed the WQ+testany completion list: a table
+                            // member's delivery makes it ready, so the next
+                            // msgtestany pops it instead of scanning.
+                            if self.policy() == Some(PollingPolicy::SchedulerPollsWqTestany)
+                                && self.vps[dst].threads[tid].state == ThState::BlockedWq
+                            {
+                                self.vps[dst].wq_ready.push_back(tid);
+                            }
+                        }
+                        // Wake the VP if it was idle; a spurious wake just
+                        // costs one scheduler round.
+                        if self.vps[dst].idle {
+                            self.vps[dst].idle = false;
+                            let wake_at = self.vps[dst].clock.max(at);
+                            self.charge_idle_spin(dst, wake_at);
+                            self.schedule_step(dst, wake_at);
+                        }
                     }
                 }
             }
@@ -296,7 +317,9 @@ impl Engine {
                 if k == 0 {
                     return;
                 }
-                let cycle = c.sched_point_ns + c.testany_base_ns + k * c.testany_per_req_ns;
+                // Completion-list testany: the inquiry costs its base
+                // price regardless of how many requests are outstanding.
+                let cycle = c.sched_point_ns + c.testany_base_ns;
                 let n = gap / cycle.max(1);
                 let m = &mut self.vps[vpi].metrics;
                 m.sched_points += n;
@@ -659,19 +682,31 @@ impl Engine {
     /// be enabled for execution" (§4.2). Exactly one `msgtestany` per
     /// schedule point; further completed requests surface at subsequent
     /// points.
+    ///
+    /// Backed by the completion list (`wq_ready`), mirroring the live
+    /// runtime's `CompletionSet`: each delivery queued its thread, so
+    /// the inquiry pops in O(1) at its base cost instead of probing all
+    /// `n` outstanding requests.
     fn wq_scan_testany(&mut self, vpi: usize) {
-        let n = self.vps[vpi].wq.len() as u64;
-        if n == 0 {
+        if self.vps[vpi].wq.is_empty() {
             return;
         }
-        self.vps[vpi].clock += self.cost.testany_base_ns + n * self.cost.testany_per_req_ns;
+        self.vps[vpi].clock += self.cost.testany_base_ns;
         self.vps[vpi].metrics.testany_calls += 1;
         let t = self.vps[vpi].clock;
-        let found = (0..self.vps[vpi].wq.len())
-            .find(|&i| self.vps[vpi].recv_complete(self.vps[vpi].wq[i], t));
-        if let Some(i) = found {
+        if let Some(tid) = self.vps[vpi].wq_ready.pop_front() {
+            debug_assert_eq!(self.vps[vpi].threads[tid].state, ThState::BlockedWq);
+            debug_assert!(
+                self.vps[vpi].recv_complete(tid, t),
+                "completion list held an incomplete receive"
+            );
             self.vps[vpi].clock += self.cost.crecv_claim_ns;
-            let tid = self.vps[vpi].wq.swap_remove(i);
+            let pos = self.vps[vpi]
+                .wq
+                .iter()
+                .position(|&x| x == tid)
+                .expect("ready thread missing from the WQ table");
+            self.vps[vpi].wq.swap_remove(pos);
             self.vps[vpi].clear_waiting(tid, t);
             self.vps[vpi].finish_wq_recv(tid);
         }

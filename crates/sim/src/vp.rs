@@ -101,6 +101,11 @@ pub(crate) struct SimVp {
     pub ready: VecDeque<usize>,
     /// WQ policies: the scheduler's table of (thread) polling requests.
     pub wq: Vec<usize>,
+    /// WQ+testany: the completion list — table members whose receive has
+    /// been delivered, in delivery order. Mirrors the live runtime's
+    /// `CompletionSet`: the `msgtestany` scan pops from here instead of
+    /// probing every table entry.
+    pub wq_ready: VecDeque<usize>,
     pub unexpected: Vec<Unexpected>,
     pub live: usize,
     pub running: Option<usize>,
@@ -125,6 +130,7 @@ impl SimVp {
             threads: Vec::new(),
             ready: VecDeque::new(),
             wq: Vec::new(),
+            wq_ready: VecDeque::new(),
             unexpected: Vec::new(),
             live: 0,
             running: None,

@@ -125,7 +125,10 @@ pub struct Vp {
     cfg: VpConfig,
     inner: Mutex<Inner>,
     done_cv: Condvar,
-    hooks: RwLock<Arc<Vec<HookRef>>>,
+    /// Installed scheduler hooks. Kept as a shared slice so the hot
+    /// scheduling loop snapshots with one refcount bump and iterates
+    /// with no extra indirection or allocation.
+    hooks: RwLock<Arc<[HookRef]>>,
     stats: VpStats,
 }
 
@@ -158,7 +161,7 @@ impl Vp {
                 shutdown: false,
             }),
             done_cv: Condvar::new(),
-            hooks: RwLock::new(Arc::new(Vec::new())),
+            hooks: RwLock::new(Arc::from(Vec::new())),
             stats: VpStats::default(),
         })
     }
@@ -177,17 +180,17 @@ impl Vp {
     /// installation order; see [`crate::SchedulerHook`].
     pub fn install_hook(&self, hook: Arc<dyn crate::SchedulerHook>) {
         let mut guard = self.hooks.write();
-        let mut v: Vec<HookRef> = guard.as_ref().clone();
+        let mut v: Vec<HookRef> = guard.to_vec();
         v.push(hook);
-        *guard = Arc::new(v);
+        *guard = Arc::from(v);
     }
 
     /// Remove all scheduler hooks.
     pub fn clear_hooks(&self) {
-        *self.hooks.write() = Arc::new(Vec::new());
+        *self.hooks.write() = Arc::from(Vec::new());
     }
 
-    fn hooks_snapshot(&self) -> Arc<Vec<HookRef>> {
+    fn hooks_snapshot(&self) -> Arc<[HookRef]> {
         Arc::clone(&self.hooks.read())
     }
 

@@ -151,6 +151,189 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Comm matching: indexed matcher vs a linear-scan oracle
+// ---------------------------------------------------------------------
+
+/// Context constraint choices for generated receive specs.
+#[derive(Clone, Copy, Debug)]
+enum CtxChoice {
+    Any,
+    Exact(u64),
+    /// Masked match on the low byte only (`masked(v, 0xFF)`).
+    LowByte(u64),
+}
+
+/// A full-signature operation stream: varied sources, tags, contexts,
+/// kinds, wildcards, and probes.
+#[derive(Clone, Debug)]
+enum MatchOp {
+    Send { src: u8, tag: u8, ctx: u64, kind: u8 },
+    Recv { src: Option<u8>, tag: Option<u8>, ctx: CtxChoice, kind: u8 },
+    Probe { src: Option<u8>, tag: Option<u8>, ctx: CtxChoice, kind: u8 },
+}
+
+fn ctx_choice() -> impl Strategy<Value = CtxChoice> {
+    prop_oneof![
+        Just(CtxChoice::Any),
+        (0u64..3).prop_map(CtxChoice::Exact),
+        (0u64..3).prop_map(CtxChoice::LowByte),
+    ]
+}
+
+fn kind_choice() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(chant::comm::kind::DATA), Just(chant::comm::kind::RSR)]
+}
+
+fn spec_strategy() -> impl Strategy<Value = (Option<u8>, Option<u8>, CtxChoice, u8)> {
+    (
+        proptest::option::of(0u8..2),
+        proptest::option::of(0u8..3),
+        ctx_choice(),
+        kind_choice(),
+    )
+}
+
+fn match_op() -> impl Strategy<Value = MatchOp> {
+    prop_oneof![
+        // Sends: ctx sometimes sets a high bit so exact and low-byte
+        // masked specs diverge.
+        (0u8..2, 0u8..3, 0u64..3, any::<bool>(), kind_choice()).prop_map(
+            |(src, tag, ctx, high, kind)| MatchOp::Send {
+                src,
+                tag,
+                ctx: ctx | if high { 0x100 } else { 0 },
+                kind,
+            }
+        ),
+        spec_strategy().prop_map(|(src, tag, ctx, kind)| MatchOp::Recv { src, tag, ctx, kind }),
+        spec_strategy().prop_map(|(src, tag, ctx, kind)| MatchOp::Recv { src, tag, ctx, kind }),
+        spec_strategy().prop_map(|(src, tag, ctx, kind)| MatchOp::Probe { src, tag, ctx, kind }),
+    ]
+}
+
+fn build_spec(src: Option<u8>, tag: Option<u8>, ctx: CtxChoice, kind_sel: u8) -> RecvSpec {
+    use chant::comm::CtxMatch;
+    let mut s = match tag {
+        Some(t) => RecvSpec::tag(i32::from(t)),
+        None => RecvSpec::any(),
+    };
+    if let Some(pe) = src {
+        s = s.from(Address::new(u32::from(pe), 0));
+    }
+    s = match ctx {
+        CtxChoice::Any => s,
+        CtxChoice::Exact(v) => s.ctx(CtxMatch::exact(v)),
+        CtxChoice::LowByte(v) => s.ctx(CtxMatch::masked(v, 0xFF)),
+    };
+    s.kind(kind_sel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The endpoint's indexed matching table is observationally equal to
+    /// a linear-scan oracle over the *full* selection signature — source
+    /// (exact or wildcard), tag (exact or `ANY_TAG`), context (any,
+    /// exact, or masked), and kind — including the order receives
+    /// complete in, the bodies they claim, and every `CommStats` counter
+    /// the matcher drives.
+    #[test]
+    fn indexed_matcher_equals_linear_oracle(
+        ops in proptest::collection::vec(match_op(), 1..48),
+    ) {
+        use chant::comm::Header;
+
+        let world = CommWorld::flat(3);
+        let dst_addr = Address::new(2, 0);
+        let srcs = [world.endpoint(Address::new(0, 0)), world.endpoint(Address::new(1, 0))];
+        let dst = world.endpoint(dst_addr);
+
+        // Oracle state: linear scans in posting / arrival order, using
+        // `RecvSpec::matches` (the spec-level definition) directly.
+        let mut oracle_posted: VecDeque<(usize, RecvSpec)> = VecDeque::new();
+        let mut oracle_unexpected: VecDeque<(Header, u8)> = VecDeque::new();
+        let mut pending: Vec<Option<chant::comm::RecvHandle>> = Vec::new();
+        let (mut recvs_posted, mut posted_matches, mut unexpected_buffered) = (0u64, 0u64, 0u64);
+        let (mut unexpected_claimed, mut probes) = (0u64, 0u64);
+
+        for (seq, op) in ops.iter().enumerate() {
+            let body_id = seq as u8;
+            match *op {
+                MatchOp::Send { src, tag, ctx, kind } => {
+                    let header = Header {
+                        src: Address::new(u32::from(src), 0),
+                        dst: dst_addr,
+                        tag: i32::from(tag),
+                        ctx,
+                        kind,
+                        len: 1,
+                    };
+                    srcs[usize::from(src)].isend(
+                        dst_addr,
+                        header.tag,
+                        ctx,
+                        kind,
+                        Bytes::from(vec![body_id]),
+                    );
+                    // Oracle: first posted receive, in posting order,
+                    // whose spec accepts the header.
+                    if let Some(pos) =
+                        oracle_posted.iter().position(|(_, s)| s.matches(&header))
+                    {
+                        let (hix, _) = oracle_posted.remove(pos).unwrap();
+                        posted_matches += 1;
+                        let h = pending[hix].take().expect("oracle matched a live handle");
+                        let (hdr, body) = h.take().expect("oracle says complete");
+                        prop_assert_eq!(hdr, header);
+                        prop_assert_eq!(body[0], body_id);
+                    } else {
+                        unexpected_buffered += 1;
+                        oracle_unexpected.push_back((header, body_id));
+                    }
+                }
+                MatchOp::Recv { src, tag, ctx, kind } => {
+                    let spec = build_spec(src, tag, ctx, kind);
+                    recvs_posted += 1;
+                    let h = dst.irecv(spec);
+                    // Oracle: earliest-arrival unexpected message the
+                    // spec accepts.
+                    if let Some(pos) =
+                        oracle_unexpected.iter().position(|(hd, _)| spec.matches(hd))
+                    {
+                        let (hdr, body_id) = oracle_unexpected.remove(pos).unwrap();
+                        unexpected_claimed += 1;
+                        let (got_hdr, got_body) = h.take().expect("oracle says claimable");
+                        prop_assert_eq!(got_hdr, hdr);
+                        prop_assert_eq!(got_body[0], body_id);
+                    } else {
+                        prop_assert!(!h.is_complete(), "oracle says pending");
+                        oracle_posted.push_back((pending.len(), spec));
+                        pending.push(Some(h));
+                    }
+                }
+                MatchOp::Probe { src, tag, ctx, kind } => {
+                    let spec = build_spec(src, tag, ctx, kind);
+                    probes += 1;
+                    let expect = oracle_unexpected.iter().any(|(hd, _)| spec.matches(hd));
+                    prop_assert_eq!(dst.iprobe(spec), expect, "probe {:?}", spec);
+                }
+            }
+            // Structural invariants after every step.
+            prop_assert_eq!(dst.outstanding_recvs(), oracle_posted.len());
+            prop_assert_eq!(dst.unexpected_len(), oracle_unexpected.len());
+        }
+
+        // Every matcher-driven counter agrees with the oracle's tally.
+        let snap = dst.stats().snapshot();
+        prop_assert_eq!(snap.recvs_posted, recvs_posted);
+        prop_assert_eq!(snap.posted_matches, posted_matches);
+        prop_assert_eq!(snap.unexpected_buffered, unexpected_buffered);
+        prop_assert_eq!(snap.unexpected_claimed, unexpected_claimed);
+        prop_assert_eq!(snap.probes, probes);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Simulator: determinism + conservation for arbitrary workloads
 // ---------------------------------------------------------------------
 

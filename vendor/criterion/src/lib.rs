@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A median-of-samples wall-clock harness covering the API subset this
+//! workspace's benches use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId::from_parameter`,
+//! `b.iter(..)`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Behaviour mirrors criterion's cargo integration: when invoked by
+//! `cargo bench`, cargo passes `--bench` and the harness measures; any
+//! other invocation (`cargo test` runs bench targets too) executes each
+//! benchmark body once as a smoke test and reports no timings.
+//!
+//! Measured results are also collected into a process-wide registry so
+//! a wrapper binary can dump machine-readable medians (see
+//! [`take_results`]); the perf-snapshot emitter uses this.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or `group/name/param`).
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every result measured so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value (criterion's usual form).
+    pub fn from_parameter<P: Display>(param: P) -> BenchmarkId {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `f` (or run once in smoke-test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_only {
+            black_box(f());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver (criterion's entry object).
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// A driver that always measures, regardless of CLI arguments.
+    /// (Stub extension: wrapper binaries that exist only to collect
+    /// timings — e.g. the perf-snapshot emitter — use this instead of
+    /// faking a `--bench` argument.)
+    pub fn measured() -> Criterion {
+        Criterion {
+            measure: true,
+            default_sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.measure, self.default_sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let samples = self.samples();
+        run_bench(&id, self.criterion.measure, samples, f);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.param);
+        let samples = self.samples();
+        run_bench(&id, self.criterion.measure, samples, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (report separator; matches criterion's API).
+    pub fn finish(self) {}
+
+    fn samples(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, measure: bool, samples: usize, mut f: F) {
+    if !measure {
+        // Smoke-test mode (e.g. under `cargo test`): execute once.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            smoke_only: true,
+        };
+        f(&mut b);
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to measure (~2ms), so per-iteration noise averages out.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            smoke_only: false,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples.max(5))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                smoke_only: false,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    println!("{id:<56} time: [{} per iter, {iters} iters/sample]", fmt_ns(median));
+    RESULTS.lock().unwrap().push(BenchResult {
+        id: id.to_string(),
+        median_ns: median,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once_without_recording() {
+        let mut ran = 0u32;
+        run_bench("t/smoke", false, 10, |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+        // Tests share the process-wide registry; inspect, don't drain.
+        let results = RESULTS.lock().unwrap();
+        assert!(!results.iter().any(|r| r.id == "t/smoke"));
+    }
+
+    #[test]
+    fn measure_mode_records_a_median() {
+        run_bench("t/measured", true, 5, |b| b.iter(|| black_box(1 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.id == "t/measured").unwrap();
+        assert!(r.median_ns > 0.0);
+    }
+}

@@ -1,0 +1,612 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]`, range and `any`
+//! strategies, tuples, `prop_map`, `prop_oneof!`, `collection::vec`,
+//! `option::of`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an
+//! offline stand-in: no shrinking (failures report the raw generated
+//! input) and a fixed deterministic seed per test function (cases are
+//! reproducible run-to-run by construction).
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from a non-empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let ix = rng.below(self.arms.len() as u64) as usize;
+            self.arms[ix].generate(rng)
+        }
+    }
+
+    /// Integer types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy {
+        /// Draw from the half-open range `[lo, hi)`; `lo < hi` required.
+        fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        /// Draw from the inclusive range `[lo, hi]`; `lo <= hi` required.
+        fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo < hi, "empty range strategy");
+                    // ≤64-bit operands widen losslessly into i128.
+                    let span = (hi as i128) - (lo as i128);
+                    let draw = rng.below(span as u64);
+                    (lo as i128 + draw as i128) as $t
+                }
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128);
+                    if span >= (u64::MAX as i128) {
+                        // Full 64-bit span: every draw is in range.
+                        return (lo as i128 + rng.next_u64() as i128) as $t;
+                    }
+                    let draw = rng.below(span as u64 + 1);
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $ix:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// `any::<T>()` support: the full-range strategy for `T`.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open
+    /// range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` a quarter of the time, else `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic generator RNG (splitmix64).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded construction; same seed → same case sequence.
+        pub fn fixed(seed: u64) -> TestRng {
+            TestRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Widening-multiply rejection-free mapping is fine for test
+            // generation; modulo bias is irrelevant at these bounds.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Why a single test case didn't pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is false for this input.
+        Fail(String),
+        /// Input rejected by `prop_assume!`; retried without counting.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Build a rejection.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Smaller than real proptest's 256: these run in CI on
+            // every change, and the generators have no shrinker to
+            // amortize long runs into minimal examples.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Executes a strategy + property closure across many cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Build a runner with a fixed seed (deterministic).
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner {
+                config,
+                rng: TestRng::fixed(0xC0FF_EE00_5EED),
+            }
+        }
+
+        /// Run the property. Panics with the failing input's `Debug`
+        /// rendering on the first failure (no shrinking).
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: fmt::Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let max_rejects = u64::from(self.config.cases) * 16 + 256;
+            while passed < self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "too many prop_assume! rejections ({rejected})"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed after {passed} passing cases\n\
+                             input: {rendered}\n{msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The unconstrained strategy for `T` (`any::<u8>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(arg in strategy, ...)`
+/// items with outer attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(
+                &($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert a boolean property within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} — {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Assert inequality within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Reject the current input (retried without counting toward cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 5i32..=7, z in any::<u8>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((5..=7).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_and_option_shapes(v in crate::collection::vec(0u8..4, 1..9),
+                                 o in crate::option::of(1u8..3)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            if let Some(x) = o {
+                prop_assert_eq!(x, 1u8.max(x.min(2)));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(tagged in prop_oneof![
+            (0u8..4).prop_map(|t| (false, t)),
+            crate::strategy::Just((true, 9u8)),
+        ]) {
+            let (is_just, v) = tagged;
+            prop_assert!(if is_just { v == 9 } else { v < 4 });
+        }
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn inner(x in 0u8..8) {
+                prop_assume!(x % 2 == 0);
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u32..1000, 3..6);
+        let a: Vec<_> = {
+            let mut r = TestRng::fixed(1);
+            (0..5).map(|_| s.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = TestRng::fixed(1);
+            (0..5).map(|_| s.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

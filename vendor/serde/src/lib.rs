@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde's visitor-based `Serializer`/`Deserializer` machinery is
+//! far more than this workspace needs, so this stand-in uses a direct
+//! `Value`-tree data model: `Serialize` renders a value tree,
+//! `Deserialize` reads one back. `serde_json` (also vendored) converts
+//! the tree to/from JSON text using the same externally-tagged enum
+//! representation as real serde_json, and the `Serialize`/`Deserialize`
+//! derive macros are re-exported from the vendored `serde_derive`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Map type used for objects (sorted keys — deterministic output).
+pub type Map = BTreeMap<String, Value>;
+
+/// A self-describing value tree (the serde data model, flattened).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (integer or float; see [`Number`]).
+    Number(Number),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key/value map with sorted string keys.
+    Object(Map),
+}
+
+/// A number wide enough for every integer type this workspace
+/// serializes (including `u128` stat counters) plus floats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u128),
+    /// Negative integer.
+    NegInt(i128),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Value {
+    /// View as an object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// View as a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view (if lossless), for deserializing integer types.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view (if lossless).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i128::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen losslessly enough for our uses).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message describing what didn't match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn msg(m: &str) -> DeError {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value tree for this value.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree into `Self`.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// In this stand-in every `Deserialize` is owned, so
+    /// `DeserializeOwned` is the same trait under serde's usual path.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u128))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u128()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u128))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i128()
+                    .ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::PosInt(*self))
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_u128().ok_or_else(|| DeError::msg("expected u128"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::msg("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// `&'static str` fields (e.g. `CommProfile::name`) deserialize by
+// leaking the parsed string. Profiles are a handful of long-lived
+// constants, so the leak is bounded and intentional.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::msg("expected array"))?
+            .iter()
+            .map(Deserialize::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&7u64.serialize()), Ok(7));
+        assert_eq!(i32::deserialize(&(-3i32).serialize()), Ok(-3));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()),
+            Ok(vec![1, 2])
+        );
+        let big = u128::MAX - 1;
+        assert_eq!(u128::deserialize(&big.serialize()), Ok(big));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        assert!(u8::deserialize(&300u32.serialize()).is_err());
+        assert!(u64::deserialize(&(-1i64).serialize()).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored mini-serde's `Serialize` /
+//! `Deserialize` traits (a `Value`-tree data model, not the real serde
+//! visitor machinery). Hand-parses the item's token tree — no `syn` or
+//! `quote` available in this build environment. Supports exactly what
+//! this workspace derives on: non-generic structs with named fields and
+//! non-generic enums with unit, tuple, and struct variants, using
+//! serde_json's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut s = String::new();
+            s.push_str("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)\n");
+            let _ = name;
+            s
+        }
+        Shape::Enum { name, variants } => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        s.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{v}\")),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::from("let mut __im = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__im.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(__im));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.name,
+                            fields = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    let name = shape.name();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut s = format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(__m.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::DeError::msg(\"missing field {f}\"))?)?,\n"
+                ));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Shape::Enum { name, variants } => {
+            let mut s = String::new();
+            // Unit variants arrive as bare strings (externally tagged).
+            s.push_str("if let Some(__s) = __v.as_str() {\n return match __s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    s.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 &format!(\"unknown variant {{__other}} for {name}\"))),\n}};\n}}\n"
+            ));
+            s.push_str(&format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected string or object for {name}\"))?;\n\
+                 let (__k, __val) = __m.iter().next().ok_or_else(|| \
+                 ::serde::DeError::msg(\"empty enum object for {name}\"))?;\n\
+                 match __k.as_str() {{\n"
+            ));
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            s.push_str(&format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::deserialize(__val)?)),\n",
+                                v = v.name
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__a.get({i})\
+                                         .ok_or_else(|| ::serde::DeError::msg(\
+                                         \"tuple variant too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            s.push_str(&format!(
+                                "\"{v}\" => {{\n\
+                                 let __a = __val.as_array().ok_or_else(|| \
+                                 ::serde::DeError::msg(\"expected array for {name}::{v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                                v = v.name,
+                                items = items.join(", "),
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize(__im.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::DeError::msg(\
+                                 \"missing field {f}\"))?)?,\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __im = __val.as_object().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inner}}})\n}}\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 &format!(\"unknown variant {{__other}} for {name}\"))),\n}}\n"
+            ));
+            s
+        }
+    };
+    let name = shape.name();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+impl Shape {
+    fn name(&self) -> &str {
+        match self {
+            Shape::Struct { name, .. } => name,
+            Shape::Enum { name, .. } => name,
+        }
+    }
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility: consume an optional `(crate)`-style group.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                let body = expect_brace(&mut it, &name);
+                return Shape::Struct {
+                    name,
+                    fields: parse_named_fields(body),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                let body = expect_brace(&mut it, &name);
+                return Shape::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut impl Iterator<Item = TokenTree>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_brace(it: &mut impl Iterator<Item = TokenTree>, name: &str) -> TokenStream {
+    for tt in it {
+        if let TokenTree::Group(g) = tt {
+            if g.delimiter() == Delimiter::Brace {
+                return g.stream();
+            }
+        }
+        // Anything between the name and the brace (e.g. generics) is
+        // unsupported; generics would need where-clause plumbing.
+        panic!("serde_derive: {name}: only plain non-generic items are supported");
+    }
+    panic!("serde_derive: {name}: missing body");
+}
+
+/// Parse `name: Type, ...` named fields, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments arrive as `#[doc = "..."]`).
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+                fields.push(expect_ident(&mut it));
+            }
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field name, found {other:?}"),
+        }
+        // Consume the type: everything up to the next comma outside
+        // angle brackets. Groups are single token trees, so only `<`/`>`
+        // nesting needs explicit tracking.
+        let mut angle = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                VariantKind::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                VariantKind::Struct(parse_named_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("serde_derive: expected ',' after variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Count comma-separated fields in a tuple variant's parens.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
