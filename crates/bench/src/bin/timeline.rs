@@ -2,12 +2,19 @@
 //! policy: which VP is dispatching (#), blocked-heavy (~), or idle (.),
 //! across virtual time. A quick visual intuition for why the policies
 //! differ — WQ's idle-heavy stripes are the scan windows.
+//!
+//! With `--features trace` the same runs are additionally exported as a
+//! Chrome-trace-event JSON (one track per policy × PE, virtual-time
+//! timestamps) to `bench_results/timeline_trace.json`, loadable in
+//! Perfetto / `chrome://tracing`.
 
 use chant_core::PollingPolicy;
 use chant_sim::{CostModel, Engine, LayerMode, SimProgram, ThreadSpec};
 
 fn main() {
     let cost = CostModel::paragon_polling();
+    #[cfg(feature = "trace")]
+    let mut all_lanes: Vec<chant_obs::LaneTrace> = Vec::new();
     for policy in [
         PollingPolicy::ThreadPolls,
         PollingPolicy::SchedulerPollsPs,
@@ -35,6 +42,21 @@ fn main() {
         for (vp, row) in trace.gantt(2, metrics.total_ns, 100).iter().enumerate() {
             println!("  PE{vp} |{row}|");
         }
+        #[cfg(feature = "trace")]
+        {
+            let mut lanes = trace.to_lane_traces(2);
+            for lane in &mut lanes {
+                lane.name = format!("{}/{}", policy.label(), lane.name);
+            }
+            all_lanes.extend(lanes);
+        }
     }
     println!("\nlegend: '#' dispatch/completion-heavy, '~' blocking-heavy, '.' idle, ' ' quiet");
+    #[cfg(feature = "trace")]
+    {
+        let json = chant_obs::perfetto::to_json_string(&all_lanes);
+        let path = chant_bench::results_dir().join("timeline_trace.json");
+        std::fs::write(&path, json).expect("write timeline trace");
+        println!("wrote {} (load in https://ui.perfetto.dev)", path.display());
+    }
 }

@@ -1,0 +1,45 @@
+//! Validate an exported trace file against the Chrome-trace-event
+//! schema that Perfetto loads (CI's observability job runs this on the
+//! JSON captured from the traced examples).
+//!
+//! Usage: `trace_schema_check <file.json> [<file.json> ...]`
+//! Exits nonzero on the first file that fails to parse or validate.
+
+use chant_obs::perfetto::validate_chrome_trace;
+use serde::Value;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_schema_check <file.json> [<file.json> ...]");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        let value = match serde_json::from_str::<Value>(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{file}: not valid JSON: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        match validate_chrome_trace(&value) {
+            Ok(summary) => {
+                println!(
+                    "{file}: OK — {} lanes, {} slices, {} instants, {} metadata records",
+                    summary.lanes, summary.slices, summary.instants, summary.metadata
+                );
+            }
+            Err(e) => {
+                eprintln!("{file}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

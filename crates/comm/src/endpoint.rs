@@ -81,6 +81,10 @@ struct EndpointInner {
     unexpected_by_tag: HashMap<(i32, u8), VecDeque<u64>>,
     /// Next arrival sequence number.
     arrival_seq: u64,
+    /// Arrival timestamps (tracer clock) of parked unexpected messages,
+    /// for the park-time histogram.
+    #[cfg(feature = "trace")]
+    arrived_at_ns: HashMap<u64, u64>,
 }
 
 impl EndpointInner {
@@ -212,6 +216,10 @@ pub struct Endpoint {
     inner: Mutex<EndpointInner>,
     stats: Arc<CommStats>,
     world: Weak<WorldInner>,
+    /// Trace lane + cached histogram handles; `None` when no tracer was
+    /// installed at construction time.
+    #[cfg(feature = "trace")]
+    obs: Option<crate::obs::EpObs>,
 }
 
 impl Endpoint {
@@ -221,6 +229,8 @@ impl Endpoint {
             inner: Mutex::new(EndpointInner::default()),
             stats: Arc::new(CommStats::default()),
             world,
+            #[cfg(feature = "trace")]
+            obs: crate::obs::EpObs::register(addr),
         }
     }
 
@@ -258,6 +268,10 @@ impl Endpoint {
         };
         CommStats::bump(&self.stats.sends);
         CommStats::add(&self.stats.bytes_sent, body.len() as u64);
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            o.lane.emit(chant_obs::Event::Send { to: dst.pe, tag });
+        }
         world.route(header, body);
         SendHandle { complete: true }
     }
@@ -284,9 +298,22 @@ impl Endpoint {
         let handle = RecvHandle {
             shared: Arc::clone(&shared),
             stats: Arc::clone(&self.stats),
+            #[cfg(feature = "trace")]
+            lane: self.obs.as_ref().map(|o| o.lane.clone()),
         };
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            shared.state.lock().posted_at_ns = o.lane.now_ns();
+        }
         let mut inner = self.inner.lock();
         if let Some(seq) = inner.find_unexpected(&spec) {
+            #[cfg(feature = "trace")]
+            if let Some(o) = &self.obs {
+                if let Some(at) = inner.arrived_at_ns.remove(&seq) {
+                    o.unexpected_park_ns
+                        .record(o.lane.now_ns().saturating_sub(at));
+                }
+            }
             let (header, body) = inner.take_unexpected(seq);
             CommStats::bump(&self.stats.unexpected_claimed);
             shared.complete(header, body);
@@ -343,12 +370,40 @@ impl Endpoint {
         if let Some((key, index)) = inner.find_posted(&header) {
             let posted = inner.take_posted(key, index);
             CommStats::bump(&self.stats.posted_matches);
+            #[cfg(feature = "trace")]
+            if let Some(o) = &self.obs {
+                let now = o.lane.now_ns();
+                let posted_at = posted.shared.state.lock().posted_at_ns;
+                o.recv_wait_ns.record(now.saturating_sub(posted_at));
+                o.lane.emit_at(
+                    now,
+                    chant_obs::Event::Arrive {
+                        from: header.src.pe,
+                        tag: header.tag,
+                        posted: true,
+                    },
+                );
+            }
             // Completing under the endpoint lock keeps per-sender FIFO
             // ordering observable: a later message can never complete an
             // earlier-posted matching receive first.
             posted.shared.complete(header, body);
         } else {
             CommStats::bump(&self.stats.unexpected_buffered);
+            #[cfg(feature = "trace")]
+            if let Some(o) = &self.obs {
+                let now = o.lane.now_ns();
+                let seq = inner.arrival_seq;
+                inner.arrived_at_ns.insert(seq, now);
+                o.lane.emit_at(
+                    now,
+                    chant_obs::Event::Arrive {
+                        from: header.src.pe,
+                        tag: header.tag,
+                        posted: false,
+                    },
+                );
+            }
             inner.buffer_unexpected(header, body);
         }
     }

@@ -25,6 +25,10 @@ pub(crate) struct RecvState {
     /// Completion-list subscription: on completion, push the token onto
     /// the subscribed set's ready list (see [`crate::CompletionSet`]).
     pub notify: Option<(Arc<CompletionInner>, u64)>,
+    /// When the receive was posted (tracer clock, ns), for the
+    /// posted-receive wait histogram.
+    #[cfg(feature = "trace")]
+    pub posted_at_ns: u64,
 }
 
 pub(crate) struct RecvShared {
@@ -91,6 +95,10 @@ impl RecvShared {
 pub struct RecvHandle {
     pub(crate) shared: Arc<RecvShared>,
     pub(crate) stats: Arc<CommStats>,
+    /// The owning endpoint's trace lane, so completion inquiries land on
+    /// the endpoint's timeline track.
+    #[cfg(feature = "trace")]
+    pub(crate) lane: Option<chant_obs::LaneHandle>,
 }
 
 impl RecvHandle {
@@ -100,6 +108,10 @@ impl RecvHandle {
         let done = self.shared.state.lock().done;
         if !done {
             CommStats::bump(&self.stats.msgtest_failures);
+        }
+        #[cfg(feature = "trace")]
+        if let Some(lane) = &self.lane {
+            lane.emit(chant_obs::Event::Msgtest { ok: done });
         }
         done
     }
@@ -181,6 +193,8 @@ mod tests {
         RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::new(CommStats::default()),
+            #[cfg(feature = "trace")]
+            lane: None,
         }
     }
 
@@ -237,6 +251,8 @@ mod tests {
         let b = RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::clone(&a.stats),
+            #[cfg(feature = "trace")]
+            lane: None,
         };
         assert_eq!(testany(&[&a, &b]), None);
         b.shared.complete(dummy_header(0), Bytes::new());

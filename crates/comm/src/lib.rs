@@ -48,6 +48,8 @@ mod endpoint;
 mod guard;
 mod handle;
 mod header;
+#[cfg(feature = "trace")]
+mod obs;
 mod profile;
 mod stats;
 mod testany;

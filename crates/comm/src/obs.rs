@@ -1,0 +1,38 @@
+//! Endpoint instrumentation glue (the `trace` cargo feature).
+//!
+//! Each endpoint registers one `chant-obs` lane (named `ep<pe>.<proc>`)
+//! at construction and caches the histogram handles its delivery paths
+//! record into. Endpoints built while no tracer is installed carry
+//! `None` and stay silent.
+
+use std::sync::Arc;
+
+use chant_obs::{Histogram, LaneHandle};
+
+use crate::header::Address;
+
+/// Per-endpoint observability handles.
+pub(crate) struct EpObs {
+    /// The endpoint's trace lane.
+    pub lane: LaneHandle,
+    /// Posted-receive wait: irecv post → matching message delivery, ns
+    /// (the latency a pre-posted zero-copy receive actually waited).
+    pub recv_wait_ns: Arc<Histogram>,
+    /// Unexpected-message park: arrival → claim by a receive, ns (the
+    /// time a message sat in the "system buffer" the paper's pre-posted
+    /// path avoids).
+    pub unexpected_park_ns: Arc<Histogram>,
+}
+
+impl EpObs {
+    /// Register a lane for the endpoint at `addr`, if a tracer is active.
+    pub fn register(addr: Address) -> Option<EpObs> {
+        let lane = chant_obs::tracer::register_lane(&format!("ep{}.{}", addr.pe, addr.process))?;
+        let reg = chant_obs::registry();
+        Some(EpObs {
+            lane,
+            recv_wait_ns: reg.histogram("comm.recv_wait_ns"),
+            unexpected_park_ns: reg.histogram("comm.unexpected_park_ns"),
+        })
+    }
+}

@@ -13,6 +13,18 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic counters for one endpoint.
+///
+/// Every update and read uses `Ordering::Relaxed`, uniformly. That is
+/// sound because these counters are *monotone statistics*, not
+/// synchronization: relaxed atomics still guarantee each individual
+/// counter is torn-free and never loses an increment (its modification
+/// order is total), which is everything a tally needs. Stronger
+/// orderings would only buy happens-before edges *between* counters —
+/// e.g. "if the snapshot saw the send, it also sees the byte count" —
+/// and no reader relies on such edges: snapshots are taken for
+/// reporting after the traffic of interest has quiesced (end of run,
+/// end of phase), at which point all writers' increments are visible
+/// regardless of ordering.
 #[derive(Debug, Default)]
 pub struct CommStats {
     /// Messages sent (blocking + nonblocking).
@@ -92,6 +104,33 @@ pub struct CommStatsSnapshot {
     pub probes: u64,
     pub bytes_sent: u64,
     pub bytes_received: u64,
+}
+
+impl CommStatsSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring one phase
+    /// of a run (e.g. per-policy sections of a multi-policy process).
+    /// Saturates at zero, so a stale `earlier` cannot produce a wrapped
+    /// count.
+    pub fn delta(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            sends: self.sends.saturating_sub(earlier.sends),
+            recvs_posted: self.recvs_posted.saturating_sub(earlier.recvs_posted),
+            posted_matches: self.posted_matches.saturating_sub(earlier.posted_matches),
+            unexpected_buffered: self
+                .unexpected_buffered
+                .saturating_sub(earlier.unexpected_buffered),
+            unexpected_claimed: self
+                .unexpected_claimed
+                .saturating_sub(earlier.unexpected_claimed),
+            msgtests: self.msgtests.saturating_sub(earlier.msgtests),
+            msgtest_failures: self.msgtest_failures.saturating_sub(earlier.msgtest_failures),
+            testany_calls: self.testany_calls.saturating_sub(earlier.testany_calls),
+            blocking_waits: self.blocking_waits.saturating_sub(earlier.blocking_waits),
+            probes: self.probes.saturating_sub(earlier.probes),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+        }
+    }
 }
 
 #[cfg(test)]

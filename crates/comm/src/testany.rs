@@ -26,7 +26,14 @@ use crate::stats::CommStats;
 pub fn testany(handles: &[&RecvHandle]) -> Option<usize> {
     let first = handles.first()?;
     CommStats::bump(&first.stats.testany_calls);
-    handles.iter().position(|h| h.is_complete())
+    let found = handles.iter().position(|h| h.is_complete());
+    #[cfg(feature = "trace")]
+    if let Some(lane) = &first.lane {
+        lane.emit(chant_obs::Event::Testany {
+            ready: found.is_some(),
+        });
+    }
+    found
 }
 
 /// The shared half of a [`CompletionSet`]: the list of member tokens
@@ -112,15 +119,26 @@ impl CompletionSet {
     pub fn testany(&mut self) -> Option<u64> {
         let member = self.members.values().next()?;
         CommStats::bump(&member.stats.testany_calls);
+        #[cfg(feature = "trace")]
+        let lane = member.lane.clone();
+        let mut found = None;
         let mut ready = self.inner.ready.lock();
         while let Some(token) = ready.pop_front() {
             // Tokens of removed members are stale; skip them.
             if let Some(handle) = self.members.remove(&token) {
                 debug_assert!(handle.is_complete(), "ready list held a pending receive");
-                return Some(token);
+                found = Some(token);
+                break;
             }
         }
-        None
+        drop(ready);
+        #[cfg(feature = "trace")]
+        if let Some(lane) = lane {
+            lane.emit(chant_obs::Event::Testany {
+                ready: found.is_some(),
+            });
+        }
+        found
     }
 }
 
@@ -144,10 +162,14 @@ mod tests {
         let a = RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::clone(&stats),
+            #[cfg(feature = "trace")]
+            lane: None,
         };
         let b = RecvHandle {
             shared: RecvShared::new(),
             stats,
+            #[cfg(feature = "trace")]
+            lane: None,
         };
         (a, b)
     }

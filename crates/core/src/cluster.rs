@@ -308,7 +308,7 @@ impl ChantCluster {
             }
         }
 
-        ClusterReport {
+        let report = ClusterReport {
             elapsed,
             nodes: self
                 .nodes
@@ -320,7 +320,28 @@ impl ChantCluster {
                     comm: n.endpoint().stats().snapshot(),
                 })
                 .collect(),
+        };
+
+        // Fold the run's tallies into the global metrics registry so a
+        // tracing session sees counters and histograms side by side.
+        // Each run() adds its own totals (nodes are fresh per cluster),
+        // so multi-cluster processes accumulate rather than double-count.
+        #[cfg(feature = "trace")]
+        if chant_obs::tracer::active() {
+            let reg = chant_obs::registry();
+            for n in &report.nodes {
+                reg.counter("cluster.full_switches").add(n.sched.full_switches);
+                reg.counter("cluster.partial_switches")
+                    .add(n.sched.partial_switches);
+                reg.counter("cluster.unblocks").add(n.sched.unblocks);
+                reg.counter("cluster.msgtests").add(n.comm.msgtests);
+                reg.counter("cluster.testany_calls").add(n.comm.testany_calls);
+                reg.counter("cluster.posted_matches").add(n.comm.posted_matches);
+                reg.counter("cluster.unexpected_claimed")
+                    .add(n.comm.unexpected_claimed);
+            }
         }
+        report
     }
 }
 

@@ -97,7 +97,9 @@ enum WqTable {
 /// hook (WQ policies). "The scheduler polls method is based on a list of
 /// polling requests that are examined at each scheduling point" (§4.2).
 pub(crate) struct WqHook {
-    vp: Mutex<Option<Arc<Vp>>>,
+    // Weak: the VP owns this hook (via its hook list), so a strong
+    // back-reference would form a cycle and leak the whole VP.
+    vp: Mutex<Option<std::sync::Weak<Vp>>>,
     table: Mutex<WqTable>,
 }
 
@@ -119,7 +121,7 @@ impl WqHook {
     }
 
     fn bind(&self, vp: &Arc<Vp>) {
-        *self.vp.lock() = Some(Arc::clone(vp));
+        *self.vp.lock() = Some(Arc::downgrade(vp));
     }
 
     fn register(&self, tid: Tid, handle: RecvHandle) {
@@ -145,7 +147,7 @@ impl WqHook {
 
 impl SchedulerHook for WqHook {
     fn at_schedule_point(&self) {
-        let Some(vp) = self.vp.lock().clone() else {
+        let Some(vp) = self.vp.lock().as_ref().and_then(std::sync::Weak::upgrade) else {
             return;
         };
         match &mut *self.table.lock() {

@@ -166,6 +166,13 @@ impl ChantNode {
     /// The server thread body (paper Figure 7). Runs until cancelled by
     /// the cluster's shutdown protocol.
     pub(crate) fn server_loop(self: &Arc<Self>) {
+        // Service-time histogram: request in hand → reply sent (or
+        // handler returned). Fetched once per server thread.
+        #[cfg(feature = "trace")]
+        let rsr_service_ns = self
+            .vp()
+            .obs_lane()
+            .map(|_| chant_obs::registry().histogram("core.rsr_service_ns"));
         loop {
             let handle = self.endpoint().irecv(RecvSpec::any().kind(kind::RSR));
             // Wait with the configured polling policy; once a request is
@@ -176,12 +183,28 @@ impl ChantNode {
             };
             match decode_rsr(&body) {
                 Ok(env) => {
+                    // The serve→done pair becomes a slice on the server
+                    // VP's timeline track.
+                    #[cfg(feature = "trace")]
+                    let serve_start = self.vp().obs_lane().map(|lane| {
+                        let now = lane.now_ns();
+                        lane.emit_at(now, chant_obs::Event::RsrServe { fn_id: env.fn_id });
+                        now
+                    });
                     let reply = ops::dispatch(self, &env);
                     if env.reply_token != 0 {
                         if let Some(result) = reply {
                             self.send_rsr_reply(env.from, env.reply_token, &result);
                         }
                         // None: a built-in deferred the reply (e.g. JOIN).
+                    }
+                    #[cfg(feature = "trace")]
+                    if let (Some(lane), Some(start)) = (self.vp().obs_lane(), serve_start) {
+                        let now = lane.now_ns();
+                        if let Some(h) = &rsr_service_ns {
+                            h.record(now.saturating_sub(start));
+                        }
+                        lane.emit_at(now, chant_obs::Event::RsrDone { fn_id: env.fn_id });
                     }
                 }
                 Err(e) => {

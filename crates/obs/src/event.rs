@@ -1,0 +1,208 @@
+//! The unified event model.
+//!
+//! One vocabulary for everything the paper counts: the scheduler's
+//! dispatch/block/yield cycle (Tables 3–5's "CtxSw" column), the
+//! communication layer's send/arrive/match activity, the completion
+//! inquiries (`msgtest`, Figure 12), and the remote-service server's
+//! request handling (§3.2). Both the live runtime (via the `trace`
+//! features of `chant-ult`/`chant-comm`/`chant-core`) and the simulator
+//! (`chant_sim::Trace`, via a lossless `From` impl) emit these, so one
+//! exporter renders either into the same Chrome-trace/Perfetto JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// One traced occurrence on a lane (a VP, an endpoint, or a simulated
+/// processor). `Copy` and small on purpose: events travel through the
+/// lock-free ring by value and must never tear.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A thread's context was restored (or it was re-dispatched without
+    /// a switch when `full_switch` is false).
+    Dispatch {
+        /// Thread id within the lane.
+        thread: u32,
+        /// Complete context switch vs same-thread re-dispatch.
+        full_switch: bool,
+    },
+    /// A candidate's pending request failed its pre-dispatch test and
+    /// the TCB was requeued without restoring its context (the PS
+    /// policy's partial switch, paper §4.2).
+    PartialSwitch {
+        /// Thread id within the lane.
+        thread: u32,
+    },
+    /// A thread blocked waiting for an explicit wakeup (a receive under
+    /// a scheduler-polls policy, a join, a condition wait).
+    Block {
+        /// Thread id within the lane.
+        thread: u32,
+    },
+    /// A blocked thread was made ready again.
+    Unblock {
+        /// Thread id within the lane.
+        thread: u32,
+    },
+    /// A running thread voluntarily yielded the processor.
+    Yield {
+        /// Thread id within the lane.
+        thread: u32,
+    },
+    /// The lane went idle: nothing runnable until an external event.
+    Idle,
+    /// A thread finished (returned, panicked, or was cancelled).
+    ThreadDone {
+        /// Thread id within the lane.
+        thread: u32,
+    },
+    /// A message left this lane.
+    Send {
+        /// Destination lane-local identifier (VP index or PE).
+        to: u32,
+        /// Matching tag.
+        tag: i32,
+    },
+    /// A message arrived at this lane.
+    Arrive {
+        /// Source lane-local identifier (VP index or PE).
+        from: u32,
+        /// Matching tag.
+        tag: i32,
+        /// Whether a posted receive was waiting (the zero-copy path) —
+        /// false when the message was parked unexpected, and false for
+        /// sources (like the simulator) that do not distinguish.
+        posted: bool,
+    },
+    /// A receive completed and its message was claimed.
+    RecvComplete {
+        /// Thread id within the lane (0 when unknown).
+        thread: u32,
+    },
+    /// One `msgtest` completion inquiry (NX `msgdone`).
+    Msgtest {
+        /// Whether the tested request was complete.
+        ok: bool,
+    },
+    /// One `msgtestany` completion inquiry (MPI `MPI_TEST_ANY`).
+    Testany {
+        /// Whether any covered request was complete.
+        ready: bool,
+    },
+    /// The RSR server thread took a request in hand (paper §3.2).
+    RsrServe {
+        /// Requested function id.
+        fn_id: u32,
+    },
+    /// The RSR server finished a request (reply sent or fire-and-forget
+    /// handler returned).
+    RsrDone {
+        /// Requested function id.
+        fn_id: u32,
+    },
+}
+
+impl Event {
+    /// Short display name, used as the Chrome-trace event name for
+    /// instant events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Dispatch { .. } => "dispatch",
+            Event::PartialSwitch { .. } => "partial_switch",
+            Event::Block { .. } => "block",
+            Event::Unblock { .. } => "unblock",
+            Event::Yield { .. } => "yield",
+            Event::Idle => "idle",
+            Event::ThreadDone { .. } => "thread_done",
+            Event::Send { .. } => "send",
+            Event::Arrive { .. } => "arrive",
+            Event::RecvComplete { .. } => "recv_complete",
+            Event::Msgtest { .. } => "msgtest",
+            Event::Testany { .. } => "testany",
+            Event::RsrServe { .. } => "rsr_serve",
+            Event::RsrDone { .. } => "rsr_done",
+        }
+    }
+
+    /// The thread a scheduling event concerns, if it concerns one.
+    pub fn thread(&self) -> Option<u32> {
+        match *self {
+            Event::Dispatch { thread, .. }
+            | Event::PartialSwitch { thread }
+            | Event::Block { thread }
+            | Event::Unblock { thread }
+            | Event::Yield { thread }
+            | Event::ThreadDone { thread }
+            | Event::RecvComplete { thread } => Some(thread),
+            _ => None,
+        }
+    }
+
+    /// Whether this event ends a dispatched run of its thread: the
+    /// baton-departure half of the dispatch/departure balance every
+    /// well-formed trace maintains (see `crate::balance`).
+    pub fn is_departure(&self) -> bool {
+        matches!(
+            self,
+            Event::Block { .. } | Event::Yield { .. } | Event::ThreadDone { .. }
+        )
+    }
+}
+
+/// An [`Event`] stamped with its emission time, nanoseconds since the
+/// tracer's epoch (wall clock for the live runtime, virtual time for
+/// the simulator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub event: Event,
+}
+
+/// One lane's worth of drained trace: its name and its events in
+/// emission order (per lane monotone in time).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LaneTrace {
+    /// Lane name (e.g. `pe0.0` for a VP, `ep0.0` for an endpoint).
+    pub name: String,
+    /// Events in emission order.
+    pub events: Vec<TimedEvent>,
+    /// Events the lane's ring had to drop because it was full when they
+    /// were emitted (0 in a well-sized capture).
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_threads() {
+        let d = Event::Dispatch {
+            thread: 3,
+            full_switch: true,
+        };
+        assert_eq!(d.name(), "dispatch");
+        assert_eq!(d.thread(), Some(3));
+        assert!(!d.is_departure());
+        assert!(Event::Yield { thread: 3 }.is_departure());
+        assert!(Event::Block { thread: 3 }.is_departure());
+        assert!(Event::ThreadDone { thread: 3 }.is_departure());
+        assert_eq!(Event::Idle.thread(), None);
+        assert!(!Event::Idle.is_departure());
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let e = TimedEvent {
+            ts_ns: 42,
+            event: Event::Arrive {
+                from: 1,
+                tag: 7,
+                posted: true,
+            },
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TimedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

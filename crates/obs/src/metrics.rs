@@ -1,0 +1,296 @@
+//! Metrics: monotone counters and log₂-bucketed latency histograms.
+//!
+//! This unifies the repo's scattered per-subsystem atomics behind one
+//! named registry, so a run can be summarised (`registry().snapshot()`)
+//! and serialized next to its trace without each caller hand-reading a
+//! dozen `AtomicU64`s.
+//!
+//! All metric updates use `Ordering::Relaxed`. That is sound here
+//! because every metric is *monotone* — increment-only counters and
+//! histogram cells — and readers only consume totals after the writers
+//! have been joined or quiesced (end of run, end of bench iteration).
+//! Relaxed still guarantees per-cell atomicity and modification-order
+//! consistency, which is all a monotone tally needs; the stronger
+//! orderings would only buy cross-metric ordering that no reader relies
+//! on, at real cost on weakly-ordered machines.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`].
+pub const HIST_BUCKETS: usize = 64;
+
+/// A lock-free histogram with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything at or above
+/// `2^62`. Recording is one relaxed `fetch_add` per cell — cheap enough
+/// for per-event latency attribution on scheduler hot paths.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The exclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`] at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket counts ([`HIST_BUCKETS`] entries; see
+    /// [`bucket_index`] for boundaries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or 0 with no observations. Log₂ buckets give
+    /// this a factor-of-two resolution — adequate for latency
+    /// attribution, not for fine statistics.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HIST_BUCKETS - 1)
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Lookup takes a mutex (call it once, cache the `Arc`); the returned
+/// handles update lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry (tests; production code uses the global
+    /// [`registry`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Copy every metric's current value out.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drop every registered metric. Existing `Arc` handles keep
+    /// working but are no longer reachable from the registry — used
+    /// between runs in one process (benches, multi-policy examples).
+    pub fn clear(&self) {
+        self.counters.lock().clear();
+        self.histograms.lock().clear();
+    }
+}
+
+/// A plain-data copy of a [`MetricsRegistry`] at one instant,
+/// serializable next to the trace it annotates.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The process-wide registry all instrumented crates record into.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v < bucket_upper_bound(i) || i == HIST_BUCKETS - 1);
+            if i > 0 {
+                assert!(v >= bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_totals_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 7, 100, 100, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 5309);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert!((s.mean() - 5309.0 / 8.0).abs() < 1e-9);
+        // Median falls in the [4,8) bucket holding the value 7.
+        assert_eq!(s.quantile(0.5), 8);
+        assert_eq!(s.quantile(1.0), 8192);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_get_or_create_and_snapshot() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.counter("a").incr();
+        r.histogram("h").record(9);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 4);
+        assert_eq!(s.histograms["h"].count, 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["a"], 4);
+        r.clear();
+        assert_eq!(r.snapshot().counters.len(), 0);
+    }
+}

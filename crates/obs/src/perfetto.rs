@@ -1,0 +1,408 @@
+//! Chrome-trace-event / Perfetto JSON export.
+//!
+//! Renders drained [`LaneTrace`]s into the JSON Object Format that
+//! `chrome://tracing`, [Perfetto](https://ui.perfetto.dev), and
+//! `catapult` all load: a `traceEvents` array of metadata (`ph:"M"`),
+//! complete-slice (`ph:"X"`), and instant (`ph:"i"`) records with
+//! microsecond timestamps. Each lane becomes one named thread track;
+//! dispatch→departure pairs become slices (one per dispatched run of a
+//! thread), RSR serve→done pairs become slices on the server's lane,
+//! and everything else becomes an instant.
+//!
+//! Both trace sources use this one exporter: the live runtime's
+//! [`tracer`](crate::tracer) lanes and the simulator's virtual-time
+//! trace (converted via `chant_sim::Trace::to_lanes`), so a browser
+//! renders either identically.
+
+use serde::{Map, Number, Value};
+
+use crate::event::{Event, LaneTrace};
+
+/// The process id used for all exported events (one trace = one
+/// logical process).
+const PID: u64 = 1;
+
+fn s(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(Number::PosInt(v as u128))
+}
+
+fn i(v: i64) -> Value {
+    if v >= 0 {
+        Value::Number(Number::PosInt(v as u128))
+    } else {
+        Value::Number(Number::NegInt(v as i128))
+    }
+}
+
+fn us(ts_ns: u64) -> Value {
+    // Chrome-trace timestamps are microseconds; keep sub-µs resolution
+    // as a fraction.
+    Value::Number(Number::Float(ts_ns as f64 / 1000.0))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in entries {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn metadata(name: &str, tid: Option<u64>, args_name: &str) -> Value {
+    let mut entries = vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", u(PID)),
+        ("args", obj(vec![("name", s(args_name))])),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid", u(tid)));
+    }
+    obj(entries)
+}
+
+fn slice(name: &str, cat: &str, tid: u64, start_ns: u64, end_ns: u64, args: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("X")),
+        ("ts", us(start_ns)),
+        ("dur", us(end_ns.saturating_sub(start_ns))),
+        ("pid", u(PID)),
+        ("tid", u(tid)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: &str, cat: &str, tid: u64, ts_ns: u64, args: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("i")),
+        ("ts", us(ts_ns)),
+        ("pid", u(PID)),
+        ("tid", u(tid)),
+        // Thread-scoped instant: renders as a tick on the lane.
+        ("s", s("t")),
+        ("args", args),
+    ])
+}
+
+/// Render `lanes` into a complete Chrome-trace JSON value
+/// (`{"traceEvents": [...], ...}`).
+pub fn lanes_to_chrome_trace(lanes: &[LaneTrace]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(metadata("process_name", None, "chant"));
+
+    for (idx, lane) in lanes.iter().enumerate() {
+        let tid = idx as u64 + 1;
+        events.push(metadata("thread_name", Some(tid), &lane.name));
+
+        // One open dispatched run and one open RSR service at a time
+        // per lane; both close on their paired event (or at trace end).
+        let mut open_run: Option<(u32, u64, bool)> = None;
+        let mut open_rsr: Option<(u32, u64)> = None;
+        let mut last_ts = 0u64;
+
+        for te in &lane.events {
+            last_ts = te.ts_ns;
+            match te.event {
+                Event::Dispatch {
+                    thread,
+                    full_switch,
+                } => {
+                    // A dispatch while a run is open means the previous
+                    // departure was not traced; close the old run here
+                    // so the export stays well-formed.
+                    if let Some((t, start, fs)) = open_run.take() {
+                        events.push(slice(
+                            &format!("t{t}"),
+                            "sched",
+                            tid,
+                            start,
+                            te.ts_ns,
+                            obj(vec![("full_switch", Value::Bool(fs)), ("end", s("implicit"))]),
+                        ));
+                    }
+                    open_run = Some((thread, te.ts_ns, full_switch));
+                }
+                ref ev if ev.is_departure() => {
+                    let thread = ev.thread().unwrap_or(0);
+                    match open_run.take() {
+                        Some((t, start, fs)) => events.push(slice(
+                            &format!("t{t}"),
+                            "sched",
+                            tid,
+                            start,
+                            te.ts_ns,
+                            obj(vec![("full_switch", Value::Bool(fs)), ("end", s(ev.name()))]),
+                        )),
+                        None => events.push(instant(
+                            ev.name(),
+                            "sched",
+                            tid,
+                            te.ts_ns,
+                            obj(vec![("thread", u(thread as u64))]),
+                        )),
+                    }
+                }
+                Event::RsrServe { fn_id } => {
+                    open_rsr = Some((fn_id, te.ts_ns));
+                }
+                Event::RsrDone { fn_id } => match open_rsr.take() {
+                    Some((id, start)) => events.push(slice(
+                        &format!("rsr fn{id}"),
+                        "rsr",
+                        tid,
+                        start,
+                        te.ts_ns,
+                        obj(vec![("fn_id", u(id as u64))]),
+                    )),
+                    None => events.push(instant(
+                        "rsr_done",
+                        "rsr",
+                        tid,
+                        te.ts_ns,
+                        obj(vec![("fn_id", u(fn_id as u64))]),
+                    )),
+                },
+                ref ev => {
+                    let args = match *ev {
+                        Event::PartialSwitch { thread }
+                        | Event::Unblock { thread }
+                        | Event::RecvComplete { thread } => {
+                            obj(vec![("thread", u(thread as u64))])
+                        }
+                        Event::Send { to, tag } => {
+                            obj(vec![("to", u(to as u64)), ("tag", i(tag as i64))])
+                        }
+                        Event::Arrive { from, tag, posted } => obj(vec![
+                            ("from", u(from as u64)),
+                            ("tag", i(tag as i64)),
+                            ("posted", Value::Bool(posted)),
+                        ]),
+                        Event::Msgtest { ok } => obj(vec![("ok", Value::Bool(ok))]),
+                        Event::Testany { ready } => obj(vec![("ready", Value::Bool(ready))]),
+                        _ => obj(vec![]),
+                    };
+                    let cat = match ev {
+                        Event::Send { .. } | Event::Arrive { .. } => "comm",
+                        Event::Msgtest { .. } | Event::Testany { .. } => "poll",
+                        _ => "sched",
+                    };
+                    events.push(instant(ev.name(), cat, tid, te.ts_ns, args));
+                }
+            }
+        }
+
+        // Close anything still open at the end of the capture.
+        if let Some((t, start, fs)) = open_run.take() {
+            events.push(slice(
+                &format!("t{t}"),
+                "sched",
+                tid,
+                start,
+                last_ts,
+                obj(vec![("full_switch", Value::Bool(fs)), ("end", s("trace_end"))]),
+            ));
+        }
+        if let Some((id, start)) = open_rsr.take() {
+            events.push(slice(
+                &format!("rsr fn{id}"),
+                "rsr",
+                tid,
+                start,
+                last_ts,
+                obj(vec![("fn_id", u(id as u64))]),
+            ));
+        }
+        if lane.dropped > 0 {
+            events.push(instant(
+                "events_dropped",
+                "obs",
+                tid,
+                last_ts,
+                obj(vec![("count", u(lane.dropped))]),
+            ));
+        }
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+    ])
+}
+
+/// [`lanes_to_chrome_trace`] rendered to a JSON string, ready to write
+/// to a `.json` file that Perfetto / `chrome://tracing` opens directly.
+pub fn to_json_string(lanes: &[LaneTrace]) -> String {
+    serde_json::to_string(&lanes_to_chrome_trace(lanes))
+        .expect("chrome trace value serializes infallibly")
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `ph:"M"` metadata records.
+    pub metadata: usize,
+    /// `ph:"X"` complete slices.
+    pub slices: usize,
+    /// `ph:"i"` instants.
+    pub instants: usize,
+    /// Distinct `tid`s carrying non-metadata events.
+    pub lanes: usize,
+}
+
+fn require_key<'a>(ev: &'a Map, key: &str, idx: usize) -> Result<&'a Value, String> {
+    ev.get(key)
+        .ok_or_else(|| format!("traceEvents[{idx}] missing required key \"{key}\""))
+}
+
+/// Validate a parsed JSON value against the Chrome trace-event schema
+/// subset this exporter emits: the `traceEvents` envelope, required
+/// keys per phase, numeric timestamps, and non-negative durations. CI
+/// runs this over freshly captured traces so a malformed export fails
+/// the build rather than silently failing to load in a browser.
+pub fn validate_chrome_trace(v: &Value) -> Result<TraceSummary, String> {
+    let root = v.as_object().ok_or("trace root is not a JSON object")?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = TraceSummary::default();
+    let mut lane_tids = std::collections::BTreeSet::new();
+    for (idx, ev) in events.iter().enumerate() {
+        let ev = ev
+            .as_object()
+            .ok_or_else(|| format!("traceEvents[{idx}] is not an object"))?;
+        let ph = require_key(ev, "ph", idx)?
+            .as_str()
+            .ok_or_else(|| format!("traceEvents[{idx}].ph is not a string"))?;
+        require_key(ev, "name", idx)?
+            .as_str()
+            .ok_or_else(|| format!("traceEvents[{idx}].name is not a string"))?;
+        require_key(ev, "pid", idx)?
+            .as_u128()
+            .ok_or_else(|| format!("traceEvents[{idx}].pid is not an integer"))?;
+        match ph {
+            "M" => summary.metadata += 1,
+            "X" | "i" => {
+                let ts = require_key(ev, "ts", idx)?
+                    .as_f64()
+                    .ok_or_else(|| format!("traceEvents[{idx}].ts is not a number"))?;
+                if ts < 0.0 {
+                    return Err(format!("traceEvents[{idx}].ts is negative"));
+                }
+                let tid = require_key(ev, "tid", idx)?
+                    .as_u128()
+                    .ok_or_else(|| format!("traceEvents[{idx}].tid is not an integer"))?;
+                lane_tids.insert(tid);
+                if ph == "X" {
+                    let dur = require_key(ev, "dur", idx)?
+                        .as_f64()
+                        .ok_or_else(|| format!("traceEvents[{idx}].dur is not a number"))?;
+                    if dur < 0.0 {
+                        return Err(format!("traceEvents[{idx}].dur is negative"));
+                    }
+                    summary.slices += 1;
+                } else {
+                    summary.instants += 1;
+                }
+            }
+            other => return Err(format!("traceEvents[{idx}].ph \"{other}\" unsupported")),
+        }
+    }
+    summary.lanes = lane_tids.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TimedEvent;
+
+    fn lane(name: &str, events: Vec<(u64, Event)>) -> LaneTrace {
+        LaneTrace {
+            name: name.to_string(),
+            events: events
+                .into_iter()
+                .map(|(ts_ns, event)| TimedEvent { ts_ns, event })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn dispatch_departure_pairs_become_slices() {
+        let lanes = vec![lane(
+            "pe0.0",
+            vec![
+                (
+                    100,
+                    Event::Dispatch {
+                        thread: 1,
+                        full_switch: true,
+                    },
+                ),
+                (300, Event::Send { to: 1, tag: 7 }),
+                (500, Event::Block { thread: 1 }),
+                (
+                    900,
+                    Event::Dispatch {
+                        thread: 2,
+                        full_switch: false,
+                    },
+                ),
+                (1100, Event::ThreadDone { thread: 2 }),
+            ],
+        )];
+        let v = lanes_to_chrome_trace(&lanes);
+        let summary = validate_chrome_trace(&v).unwrap();
+        assert_eq!(summary.slices, 2);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.metadata, 2); // process_name + one thread_name
+        assert_eq!(summary.lanes, 1);
+    }
+
+    #[test]
+    fn rsr_pairs_and_unclosed_runs() {
+        let lanes = vec![lane(
+            "pe0.0",
+            vec![
+                (
+                    0,
+                    Event::Dispatch {
+                        thread: 0,
+                        full_switch: true,
+                    },
+                ),
+                (10, Event::RsrServe { fn_id: 1000 }),
+                (90, Event::RsrDone { fn_id: 1000 }),
+                // Run left open: closed implicitly at trace end.
+            ],
+        )];
+        let v = lanes_to_chrome_trace(&lanes);
+        let summary = validate_chrome_trace(&v).unwrap();
+        assert_eq!(summary.slices, 2); // the RSR span + the auto-closed run
+        let json = to_json_string(&lanes);
+        assert!(json.contains("rsr fn1000"));
+        assert!(json.contains("trace_end"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_chrome_trace(&Value::Array(vec![])).is_err());
+        let mut root = Map::new();
+        root.insert("traceEvents".into(), Value::String("nope".into()));
+        assert!(validate_chrome_trace(&Value::Object(root)).is_err());
+        // An event missing its phase.
+        let ev = obj(vec![("name", s("x"))]);
+        let bad = obj(vec![("traceEvents", Value::Array(vec![ev]))]);
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("ph"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,250 @@
+//! The lock-free bounded event ring.
+//!
+//! One ring per lane. Writers are the threads that happen to hold that
+//! lane's execution baton (plus, for endpoint lanes, whichever thread
+//! runs the transport's delivery), so the ring must tolerate multiple
+//! producers; draining is a cold-path operation done by the exporter.
+//!
+//! The implementation is a Vyukov-style bounded MPMC queue: every slot
+//! carries an atomic sequence stamp that encodes both ownership and the
+//! ring generation, so a producer claims a slot with one CAS, publishes
+//! with one release store, and a consumer observes either the complete
+//! value or nothing — never a torn or reordered one. When the ring is
+//! full, new events are *dropped* (and counted) rather than blocking or
+//! overwriting: tracing must never perturb the scheduling it observes.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::TimedEvent;
+
+struct Slot {
+    /// Vyukov stamp: `index` when free for the producer of that index,
+    /// `index + 1` when the value is published for the consumer of that
+    /// index, `index + capacity` when recycled for the next lap.
+    stamp: AtomicU64,
+    value: UnsafeCell<MaybeUninit<TimedEvent>>,
+}
+
+/// A bounded, lock-free multi-producer ring of [`TimedEvent`]s.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next sequence a producer will claim.
+    head: AtomicU64,
+    /// Next sequence a consumer will drain.
+    tail: AtomicU64,
+    /// Events dropped because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot payloads are only written by the producer that CAS-claimed
+// the slot's sequence and only read by the consumer that CAS-claimed the
+// same sequence; the stamp's acquire/release pair orders the accesses.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Create a ring holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.max(2).next_power_of_two() as u64;
+        let slots = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicU64::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        EventRing {
+            slots,
+            mask: cap - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Append an event. Returns `false` (and counts a drop) when the
+    /// ring is full. Lock-free: at most one CAS retry loop over
+    /// concurrent producers, never a wait on a consumer.
+    pub fn push(&self, ev: TimedEvent) -> bool {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(head & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == head {
+                // Slot free for this sequence: claim it.
+                match self.head.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this producer the unique
+                        // owner of `head`'s slot until the release store.
+                        unsafe { (*slot.value.get()).write(ev) };
+                        slot.stamp.store(head + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(h) => head = h,
+                }
+            } else if stamp < head + 1 {
+                // The slot still holds an unconsumed event from one lap
+                // ago: the ring is full. Drop, don't block.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer advanced past us; reload.
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest event, if any.
+    pub fn pop(&self) -> Option<TimedEvent> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(tail & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail + 1 {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this consumer the unique
+                        // owner of `tail`'s published slot.
+                        let ev = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp
+                            .store(tail + self.mask + 1, Ordering::Release);
+                        return Some(ev);
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if stamp <= tail {
+                return None; // empty (or the producer has claimed but not yet published)
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain every currently published event, in emission order.
+    pub fn drain(&self) -> Vec<TimedEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(ts: u64) -> TimedEvent {
+        TimedEvent {
+            ts_ns: ts,
+            event: Event::Msgtest {
+                ok: ts.is_multiple_of(2),
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = EventRing::new(8);
+        for i in 0..5 {
+            assert!(r.push(ev(i)));
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.ts_ns, i as u64);
+        }
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r = EventRing::new(4);
+        for i in 0..4 {
+            assert!(r.push(ev(i)));
+        }
+        assert!(!r.push(ev(99)));
+        assert!(!r.push(ev(100)));
+        assert_eq!(r.dropped(), 2);
+        // The original four events are intact.
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn wraparound_many_laps_preserves_order() {
+        let r = EventRing::new(4);
+        let mut next_expected = 0u64;
+        for i in 0..1000u64 {
+            assert!(r.push(ev(i)));
+            if i % 3 == 0 {
+                for e in r.drain() {
+                    assert_eq!(e.ts_ns, next_expected);
+                    next_expected += 1;
+                }
+            }
+        }
+        for e in r.drain() {
+            assert_eq!(e.ts_ns, next_expected);
+            next_expected += 1;
+        }
+        assert_eq!(next_expected, 1000);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        use std::sync::Arc;
+        let r = Arc::new(EventRing::new(4096));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..512u64 {
+                    assert!(r.push(ev(p * 1_000_000 + i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 4 * 512);
+        // Per-producer order is preserved even among interleaved pushes.
+        let mut last = [None::<u64>; 4];
+        for e in drained {
+            let p = (e.ts_ns / 1_000_000) as usize;
+            let i = e.ts_ns % 1_000_000;
+            if let Some(prev) = last[p] {
+                assert!(i > prev, "producer {p} reordered: {i} after {prev}");
+            }
+            last[p] = Some(i);
+        }
+    }
+}

@@ -124,6 +124,84 @@ impl Trace {
     }
 }
 
+/// Bridge into the shared observability event model (`chant-obs`).
+///
+/// The conversion is lossless from the simulator's side: every
+/// `TraceKind` variant and every field maps onto a [`chant_obs::Event`]
+/// counterpart. Fields the simulator does not track are filled with
+/// fixed defaults (`Arrive::posted` is `false` — the simulator's trace
+/// does not record whether a posted receive was waiting) and narrowing
+/// casts (`usize` thread → `u32`, `u32` tag → `i32`) cannot lose
+/// information for any trace the simulator can produce (thread counts
+/// and tags are small by construction).
+#[cfg(feature = "trace")]
+impl From<TraceKind> for chant_obs::Event {
+    fn from(kind: TraceKind) -> chant_obs::Event {
+        use chant_obs::Event;
+        match kind {
+            TraceKind::Dispatch {
+                thread,
+                full_switch,
+            } => Event::Dispatch {
+                thread: thread as u32,
+                full_switch,
+            },
+            TraceKind::BlockOnRecv { thread } => Event::Block {
+                thread: thread as u32,
+            },
+            TraceKind::Send { to, tag } => Event::Send {
+                to: to as u32,
+                tag: tag as i32,
+            },
+            TraceKind::Arrive { from, tag } => Event::Arrive {
+                from: from as u32,
+                tag: tag as i32,
+                posted: false,
+            },
+            TraceKind::RecvComplete { thread } => Event::RecvComplete {
+                thread: thread as u32,
+            },
+            TraceKind::Idle => Event::Idle,
+            TraceKind::ThreadDone { thread } => Event::ThreadDone {
+                thread: thread as u32,
+            },
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+impl From<TraceEvent> for chant_obs::TimedEvent {
+    fn from(e: TraceEvent) -> chant_obs::TimedEvent {
+        chant_obs::TimedEvent {
+            ts_ns: e.at,
+            event: e.kind.into(),
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Trace {
+    /// Convert this simulator trace into per-VP observability lanes
+    /// (virtual-time timestamps), ready for the Perfetto exporter.
+    /// Lanes are named `sim.vp{n}` for `n in 0..n_vps`; a VP with no
+    /// events still gets an (empty) lane so track order is stable.
+    pub fn to_lane_traces(&self, n_vps: usize) -> Vec<chant_obs::LaneTrace> {
+        let mut lanes: Vec<chant_obs::LaneTrace> = (0..n_vps)
+            .map(|vp| chant_obs::LaneTrace {
+                name: format!("sim.vp{vp}"),
+                events: Vec::new(),
+                dropped: 0,
+            })
+            .collect();
+        for e in &self.events {
+            if let Some(lane) = lanes.get_mut(e.vp) {
+                lane.events.push((*e).into());
+            }
+        }
+        lanes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +246,57 @@ mod tests {
         }
         assert_eq!(t.for_vp(0).count(), 2);
         assert_eq!(t.count(|e| matches!(e.kind, TraceKind::Idle)), 4);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn bridge_maps_every_variant_and_groups_by_vp() {
+        use chant_obs::Event;
+        let kinds = [
+            TraceKind::Dispatch {
+                thread: 3,
+                full_switch: true,
+            },
+            TraceKind::BlockOnRecv { thread: 3 },
+            TraceKind::Send { to: 1, tag: 7 },
+            TraceKind::Arrive { from: 0, tag: 7 },
+            TraceKind::RecvComplete { thread: 3 },
+            TraceKind::Idle,
+            TraceKind::ThreadDone { thread: 3 },
+        ];
+        let expected = [
+            Event::Dispatch {
+                thread: 3,
+                full_switch: true,
+            },
+            Event::Block { thread: 3 },
+            Event::Send { to: 1, tag: 7 },
+            Event::Arrive {
+                from: 0,
+                tag: 7,
+                posted: false,
+            },
+            Event::RecvComplete { thread: 3 },
+            Event::Idle,
+            Event::ThreadDone { thread: 3 },
+        ];
+        let mut t = Trace::default();
+        for (i, kind) in kinds.iter().enumerate() {
+            t.events.push(TraceEvent {
+                at: i as Ns * 10,
+                vp: i % 2,
+                kind: *kind,
+            });
+        }
+        for (kind, want) in kinds.iter().zip(expected.iter()) {
+            assert_eq!(Event::from(*kind), *want);
+        }
+        let lanes = t.to_lane_traces(2);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].name, "sim.vp0");
+        assert_eq!(lanes[0].events.len(), 4);
+        assert_eq!(lanes[1].events.len(), 3);
+        assert_eq!(lanes[0].events[1].ts_ns, 20);
+        assert_eq!(lanes[0].events[1].event, Event::Send { to: 1, tag: 7 });
     }
 }

@@ -54,6 +54,8 @@ mod config;
 mod current;
 mod error;
 mod hooks;
+#[cfg(feature = "trace")]
+mod obs;
 mod stats;
 mod sync;
 mod tcb;

@@ -88,6 +88,28 @@ pub struct StatsSnapshot {
     pub exited: u64,
 }
 
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring one
+    /// phase of a run. Saturates at zero, so a stale `earlier` cannot
+    /// produce a wrapped count.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            full_switches: self.full_switches.saturating_sub(earlier.full_switches),
+            self_redispatches: self
+                .self_redispatches
+                .saturating_sub(earlier.self_redispatches),
+            partial_switches: self.partial_switches.saturating_sub(earlier.partial_switches),
+            schedule_points: self.schedule_points.saturating_sub(earlier.schedule_points),
+            yields: self.yields.saturating_sub(earlier.yields),
+            blocks: self.blocks.saturating_sub(earlier.blocks),
+            unblocks: self.unblocks.saturating_sub(earlier.unblocks),
+            idle_spins: self.idle_spins.saturating_sub(earlier.idle_spins),
+            spawned: self.spawned.saturating_sub(earlier.spawned),
+            exited: self.exited.saturating_sub(earlier.exited),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,10 @@ pub(crate) struct Tcb {
     pub ext_cv: Condvar,
     /// Thread-local data slots (pthread_key style), keyed by TlsKey id.
     pub tls: Mutex<HashMap<u64, Box<dyn Any + Send>>>,
+    /// When this thread last entered Blocked (tracer clock, ns), for the
+    /// blocked-time histogram.
+    #[cfg(feature = "trace")]
+    pub blocked_at_ns: std::sync::atomic::AtomicU64,
 }
 
 impl Tcb {
@@ -134,6 +138,8 @@ impl Tcb {
             tls: Mutex::new(HashMap::new()),
             wake_token: Mutex::new(false),
             ext_cv: Condvar::new(),
+            #[cfg(feature = "trace")]
+            blocked_at_ns: std::sync::atomic::AtomicU64::new(0),
         })
     }
 

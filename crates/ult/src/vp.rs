@@ -130,6 +130,10 @@ pub struct Vp {
     /// with no extra indirection or allocation.
     hooks: RwLock<Arc<[HookRef]>>,
     stats: VpStats,
+    /// Trace lane + cached histogram handles; `None` when no tracer was
+    /// installed at construction time.
+    #[cfg(feature = "trace")]
+    obs: Option<crate::obs::VpObs>,
 }
 
 impl std::fmt::Debug for Vp {
@@ -150,6 +154,8 @@ impl Vp {
     /// Create a new, empty virtual processor.
     pub fn new(cfg: VpConfig) -> Arc<Vp> {
         install_cancel_hook();
+        #[cfg(feature = "trace")]
+        let obs = crate::obs::VpObs::register(&cfg.name);
         Arc::new(Vp {
             cfg,
             inner: Mutex::new(Inner {
@@ -163,7 +169,17 @@ impl Vp {
             done_cv: Condvar::new(),
             hooks: RwLock::new(Arc::from(Vec::new())),
             stats: VpStats::default(),
+            #[cfg(feature = "trace")]
+            obs,
         })
+    }
+
+    /// The VP's trace lane, when a tracer was active at construction.
+    /// Layers above (e.g. the RSR server) emit their own events here so
+    /// they land on the VP's timeline track.
+    #[cfg(feature = "trace")]
+    pub fn obs_lane(&self) -> Option<&chant_obs::LaneHandle> {
+        self.obs.as_ref().map(|o| &o.lane)
     }
 
     /// The VP's configured name.
@@ -305,6 +321,10 @@ impl Vp {
         let me = self.current_tcb();
         self.testcancel_tcb(&me);
         VpStats::bump(&self.stats.yields);
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            o.emit(chant_obs::Event::Yield { thread: me.id });
+        }
         {
             let mut inner = self.inner.lock();
             me.life.lock().phase = Phase::Ready;
@@ -329,11 +349,21 @@ impl Vp {
             if std::mem::take(&mut *inner_token(&me)) {
                 return; // consume a pending wakeup token
             }
+            // Stamp before publishing Blocked so an unblocker racing in
+            // right after the locks drop reads a fresh timestamp.
+            #[cfg(feature = "trace")]
+            if let Some(o) = &self.obs {
+                me.blocked_at_ns.store(o.lane.now_ns(), Ordering::Relaxed);
+            }
             life.phase = Phase::Blocked;
             drop(life);
             drop(inner); // held until here to order against unblock
         }
         VpStats::bump(&self.stats.blocks);
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            o.emit(chant_obs::Event::Block { thread: me.id });
+        }
         self.reschedule(Some(&me), Departure::Block);
         self.testcancel_tcb(&me);
     }
@@ -355,6 +385,13 @@ impl Vp {
                 drop(life);
                 inner.push_ready(&tcb);
                 VpStats::bump(&self.stats.unblocks);
+                #[cfg(feature = "trace")]
+                if let Some(o) = &self.obs {
+                    let now = o.lane.now_ns();
+                    o.blocked_ns
+                        .record(now.saturating_sub(tcb.blocked_at_ns.load(Ordering::Relaxed)));
+                    o.lane.emit_at(now, chant_obs::Event::Unblock { thread: tid });
+                }
             }
             Phase::Done => {}
             _ => {
@@ -486,6 +523,10 @@ impl Vp {
                 self.done_cv.notify_all();
             }
         }
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            o.emit(chant_obs::Event::ThreadDone { thread: me.id });
+        }
         self.reschedule(Some(me), Departure::Exit);
     }
 
@@ -497,6 +538,8 @@ impl Vp {
         let mut empty_rounds: u64 = 0;
         loop {
             VpStats::bump(&self.stats.schedule_points);
+            #[cfg(feature = "trace")]
+            let sched_start_ns = self.obs.as_ref().map(|o| o.lane.now_ns());
             let hooks = self.hooks_snapshot();
             for h in hooks.iter() {
                 h.at_schedule_point();
@@ -555,6 +598,10 @@ impl Vp {
                 match decision {
                     DispatchDecision::Requeue => {
                         VpStats::bump(&self.stats.partial_switches);
+                        #[cfg(feature = "trace")]
+                        if let Some(o) = &self.obs {
+                            o.emit(chant_obs::Event::PartialSwitch { thread: tid });
+                        }
                         deferred.push(tcb);
                     }
                     DispatchDecision::Run => {
@@ -573,6 +620,15 @@ impl Vp {
                 }
             }
             if dispatched {
+                // Attribute the search cost only for rounds that found a
+                // thread; idle spinning is accounted by `idle_spins`.
+                #[cfg(feature = "trace")]
+                if let Some(o) = &self.obs {
+                    if let Some(start) = sched_start_ns {
+                        o.sched_point_ns
+                            .record(o.lane.now_ns().saturating_sub(start));
+                    }
+                }
                 return;
             }
             if !deferred.is_empty() {
@@ -596,6 +652,14 @@ impl Vp {
             }
             empty_rounds += 1;
             VpStats::bump(&self.stats.idle_spins);
+            // One Idle event per idle *period*, not per spin: the spin
+            // loop would otherwise flood the ring while waiting.
+            #[cfg(feature = "trace")]
+            if empty_rounds == 1 {
+                if let Some(o) = &self.obs {
+                    o.emit(chant_obs::Event::Idle);
+                }
+            }
             if hooks.is_empty() && empty_rounds > self.cfg.deadlock_spin_limit {
                 // Unwedge the VP: cancel every blocked thread so they all
                 // unwind in an orderly fashion, then report the deadlock by
@@ -642,12 +706,29 @@ impl Vp {
                 // always polling for another VP's progress, and on a
                 // single-CPU host that VP needs the core to make any.
                 VpStats::bump(&self.stats.self_redispatches);
+                #[cfg(feature = "trace")]
+                if let Some(o) = &self.obs {
+                    o.emit(chant_obs::Event::Dispatch {
+                        thread: next.id,
+                        full_switch: false,
+                    });
+                }
                 debug_assert!(dep != Departure::Exit, "exiting thread re-dispatched");
                 std::thread::yield_now();
                 return;
             }
         }
         VpStats::bump(&self.stats.full_switches);
+        // Emit before granting the permit: the incoming thread may start
+        // emitting the moment it wakes, and its events must follow its
+        // Dispatch in the lane.
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            o.emit(chant_obs::Event::Dispatch {
+                thread: next.id,
+                full_switch: true,
+            });
+        }
         next.permit.grant();
         match dep {
             Departure::Yield | Departure::Block => {

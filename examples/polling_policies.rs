@@ -8,6 +8,15 @@
 //! real threads.
 //!
 //! Run with: `cargo run --example polling_policies`
+//!
+//! With `--features trace` the whole run is captured by the chant-obs
+//! tracer: every dispatch, block, unblock, send, arrival, and msgtest
+//! on every VP, across all four policies, is exported as one
+//! Chrome-trace-event JSON (`bench_results/polling_policies_trace.json`,
+//! load it at <https://ui.perfetto.dev>), and the metrics registry's
+//! counters and latency histograms are printed at the end:
+//!
+//! `cargo run --release --features trace --example polling_policies`
 
 use chant::chant::{ChantCluster, ChanterId, PollingPolicy};
 use chant_ult::SpawnAttr;
@@ -68,8 +77,52 @@ fn main() {
         "Figure-9 workload, live runtime: 2 PEs x 6 threads x 25 iterations\n\
          (structural counters differ by policy exactly as the paper describes)\n"
     );
+    // The tracer must be installed before any cluster is built: VPs and
+    // endpoints register their lanes at construction time.
+    #[cfg(feature = "trace")]
+    let tracing = chant_obs::tracer::install();
+    #[cfg(feature = "trace")]
+    let mut all_lanes: Vec<chant_obs::LaneTrace> = Vec::new();
     for policy in PollingPolicy::ALL {
         run_policy(policy);
+        // Each policy builds a fresh cluster, so lane names repeat
+        // across runs; drain between policies and prefix the policy
+        // label so every Perfetto track is unambiguous.
+        #[cfg(feature = "trace")]
+        if tracing {
+            let mut lanes = chant_obs::tracer::drain();
+            for lane in &mut lanes {
+                lane.name = format!("{}/{}", policy.label(), lane.name);
+            }
+            all_lanes.extend(lanes);
+        }
+    }
+    #[cfg(feature = "trace")]
+    if tracing {
+        let events: usize = all_lanes.iter().map(|l| l.events.len()).sum();
+        let json = chant_obs::perfetto::to_json_string(&all_lanes);
+        std::fs::create_dir_all("bench_results").expect("create bench_results/");
+        let path = "bench_results/polling_policies_trace.json";
+        std::fs::write(path, json).expect("write trace");
+        println!(
+            "\ntraced {events} events across {} lanes -> {path} (load in https://ui.perfetto.dev)",
+            all_lanes.len()
+        );
+        let snap = chant_obs::registry().snapshot();
+        println!("\nmetrics registry (all four policies combined):");
+        for (name, value) in &snap.counters {
+            println!("  {name:<28} {value:>10}");
+        }
+        for (name, h) in &snap.histograms {
+            if h.count > 0 {
+                println!(
+                    "  {name:<28} n={:<8} mean={:>9.0}ns p99<={}ns",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.99)
+                );
+            }
+        }
     }
     println!(
         "\nreading the table:\n\

@@ -7,6 +7,11 @@
 //! through the same mechanism (§3.3).
 //!
 //! Run with: `cargo run --example rpc_server`
+//!
+//! With `--features trace` the run is captured by the chant-obs tracer
+//! and the server threads' RSR serve/done events are summarized at the
+//! end (request count per function id, service-time histogram), with
+//! the full timeline exported to `bench_results/rpc_server_trace.json`.
 
 use bytes::Bytes;
 use chant::chant::{ChantCluster, ChantError, PollingPolicy};
@@ -16,6 +21,9 @@ use chant_comm::Address;
 const FN_WORD_COUNT: u32 = 1000;
 
 fn main() {
+    // Install before the cluster exists: lanes register at construction.
+    #[cfg(feature = "trace")]
+    let tracing = chant_obs::tracer::install();
     let cluster = ChantCluster::builder()
         .pes(2)
         .policy(PollingPolicy::SchedulerPollsPs)
@@ -77,4 +85,46 @@ fn main() {
     });
 
     println!("\nall remote service requests completed");
+
+    #[cfg(feature = "trace")]
+    if tracing {
+        use chant_obs::Event;
+        use std::collections::BTreeMap;
+
+        let lanes = chant_obs::tracer::drain();
+        let mut served: BTreeMap<u32, u64> = BTreeMap::new();
+        for lane in &lanes {
+            for e in &lane.events {
+                if let Event::RsrServe { fn_id } = e.event {
+                    *served.entry(fn_id).or_default() += 1;
+                }
+            }
+        }
+        println!("\nRSR server activity (from the trace):");
+        for (fn_id, n) in &served {
+            let label = match *fn_id {
+                1 => "CREATE",
+                2 => "JOIN",
+                5 => "FETCH",
+                6 => "STORE",
+                _ if *fn_id == FN_WORD_COUNT => "word_count",
+                _ => "other",
+            };
+            println!("  fn {fn_id:<5} ({label:<10}) served {n} request(s)");
+        }
+        let svc = chant_obs::registry().histogram("core.rsr_service_ns").snapshot();
+        if svc.count > 0 {
+            println!(
+                "  service time: n={} mean={:.1}us p99<={:.1}us",
+                svc.count,
+                svc.mean() / 1000.0,
+                svc.quantile(0.99) as f64 / 1000.0
+            );
+        }
+        let json = chant_obs::perfetto::to_json_string(&lanes);
+        std::fs::create_dir_all("bench_results").expect("create bench_results/");
+        let path = "bench_results/rpc_server_trace.json";
+        std::fs::write(path, json).expect("write trace");
+        println!("  timeline -> {path} (load in https://ui.perfetto.dev)");
+    }
 }
