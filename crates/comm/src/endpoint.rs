@@ -59,6 +59,50 @@ struct PostedRecv {
 /// `tag == ANY_TAG` is the wildcard bucket for its `(src, kind)`.
 type PostKey = (Option<Address>, i32, u8);
 
+/// Shared owner token for all clones of one [`RecvHandle`]: when the
+/// last clone is dropped with the receive still unmatched, the posted
+/// entry is retired from the endpoint's buckets. Without this, an
+/// abandoned handle leaves a dead `PostedRecv` behind forever, and a
+/// later arrival can match it — silently losing the message.
+pub(crate) struct RecvOwner {
+    inner: Weak<Mutex<EndpointInner>>,
+    stats: Arc<CommStats>,
+    key: PostKey,
+    seq: u64,
+    shared: Arc<RecvShared>,
+}
+
+impl Drop for RecvOwner {
+    fn drop(&mut self) {
+        // Already-completed receives were removed from the buckets when
+        // they matched; retiring is only needed for unmatched ones. The
+        // completion check is advisory (the removal below re-checks
+        // presence under the endpoint lock), it just skips the lock in
+        // the common case.
+        if self.shared.state.lock().done {
+            return;
+        }
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        let mut inner = inner.lock();
+        let Some(bucket) = inner.posted.get_mut(&self.key) else {
+            return;
+        };
+        // Buckets are sorted by posting seq, so absence (already
+        // matched between the `done` check and here) is a clean miss.
+        let Ok(i) = bucket.binary_search_by_key(&self.seq, |(s, _)| *s) else {
+            return;
+        };
+        bucket.remove(i);
+        if bucket.is_empty() {
+            inner.posted.remove(&self.key);
+        }
+        inner.posted_count -= 1;
+        CommStats::bump(&self.stats.posted_retired);
+    }
+}
+
 /// An unexpected message's exact shape: `(src, tag, kind)`.
 type MsgKey = (Address, i32, u8);
 
@@ -213,7 +257,9 @@ impl EndpointInner {
 /// One process's communication endpoint.
 pub struct Endpoint {
     addr: Address,
-    inner: Mutex<EndpointInner>,
+    // Arc so each posted receive's owner token can hold a weak
+    // back-reference for retire-on-drop without owning the endpoint.
+    inner: Arc<Mutex<EndpointInner>>,
     stats: Arc<CommStats>,
     world: Weak<WorldInner>,
     /// Trace lane + cached histogram handles; `None` when no tracer was
@@ -226,7 +272,7 @@ impl Endpoint {
     pub(crate) fn new(addr: Address, world: Weak<WorldInner>) -> Endpoint {
         Endpoint {
             addr,
-            inner: Mutex::new(EndpointInner::default()),
+            inner: Arc::new(Mutex::new(EndpointInner::default())),
             stats: Arc::new(CommStats::default()),
             world,
             #[cfg(feature = "trace")]
@@ -295,9 +341,10 @@ impl Endpoint {
     pub fn irecv(&self, spec: RecvSpec) -> RecvHandle {
         CommStats::bump(&self.stats.recvs_posted);
         let shared = RecvShared::new();
-        let handle = RecvHandle {
+        let mut handle = RecvHandle {
             shared: Arc::clone(&shared),
             stats: Arc::clone(&self.stats),
+            owner: None,
             #[cfg(feature = "trace")]
             lane: self.obs.as_ref().map(|o| o.lane.clone()),
         };
@@ -320,12 +367,20 @@ impl Endpoint {
         } else {
             let seq = inner.post_seq;
             inner.post_seq += 1;
+            let key = (spec.src, spec.tag, spec.kind);
             inner
                 .posted
-                .entry((spec.src, spec.tag, spec.kind))
+                .entry(key)
                 .or_default()
                 .push_back((seq, PostedRecv { spec, shared }));
             inner.posted_count += 1;
+            handle.owner = Some(Arc::new(RecvOwner {
+                inner: Arc::downgrade(&self.inner),
+                stats: Arc::clone(&self.stats),
+                key,
+                seq,
+                shared: Arc::clone(&handle.shared),
+            }));
         }
         handle
     }

@@ -1,0 +1,470 @@
+//! Deterministic fault injection on the delivery path.
+//!
+//! The default transport is lossless and FIFO — exactly what the paper
+//! assumes, and exactly what makes failure paths untestable. This module
+//! adds an optional, seeded shim consulted on every [`crate::CommWorld`]
+//! delivery that can **drop**, **duplicate**, **delay**, or **reorder**
+//! messages per link, with four properties the rest of the runtime
+//! relies on:
+//!
+//! * **Off by default, zero cost when off.** A world without a
+//!   [`FaultConfig`] routes through the exact pre-shim code path (one
+//!   `Option` check).
+//! * **Deterministic per link.** Every `(src, dst)` link owns its own
+//!   [`SplitMix64`] decision stream derived from the world seed, so the
+//!   n-th message on a link always meets the same fate for a given seed,
+//!   regardless of how other links interleave.
+//! * **Eventual delivery.** Everything except an explicit drop is
+//!   delivered in finite time: duplicated/delayed/reordered copies go
+//!   through a background deliverer with a deadline queue and — unlike
+//!   the latency model's [`crate::LatencyModel`] line — **no per-link
+//!   FIFO floor**, so later messages genuinely overtake held ones.
+//! * **Control-plane exemption.** Tags in `0xFF00..=0xFFFF` are reserved
+//!   for runtime control traffic (cluster shutdown barriers); faulting
+//!   those wedges teardown rather than exercising user-visible failure
+//!   paths, so DATA-kind messages in that range pass through untouched
+//!   unless [`FaultConfig::fault_control`] opts in.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::header::{Address, Header};
+use crate::stats::CommStats;
+use crate::world::WorldInner;
+
+/// First tag of the reserved control range the shim spares by default.
+pub const CONTROL_TAG_BASE: i32 = 0xFF00;
+
+/// A small, fast, well-distributed PRNG (SplitMix64). Hand-rolled
+/// because the dependency set is frozen; statistical quality is more
+/// than sufficient for Bernoulli fault decisions.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`, with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive; `lo` when the range is empty).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+/// Configuration of the per-world fault shim. All probabilities are per
+/// message, evaluated independently in the order drop → duplicate →
+/// delay → reorder (a duplicated message's extra copy always travels the
+/// delayed path, which is what makes duplication observable as
+/// reordering too).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the per-link decision streams.
+    pub seed: u64,
+    /// Probability a message is silently discarded.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice (the second copy via the
+    /// background deliverer, after `dup_delay`).
+    pub dup_p: f64,
+    /// Probability a message is held for `delay` before delivery,
+    /// letting later traffic on the same link overtake it.
+    pub delay_p: f64,
+    /// Probability a message is held just long enough (`reorder_delay`)
+    /// to swap with the traffic immediately behind it.
+    pub reorder_p: f64,
+    /// Hold time range for delayed messages (ns, inclusive).
+    pub delay_ns: (u64, u64),
+    /// Hold time range for duplicate copies (ns, inclusive).
+    pub dup_delay_ns: (u64, u64),
+    /// Hold time range for reordered messages (ns, inclusive).
+    pub reorder_delay_ns: (u64, u64),
+    /// Also fault DATA messages with tags in the reserved control range
+    /// `0xFF00..=0xFFFF` (default false: faulting the cluster shutdown
+    /// barrier wedges teardown instead of testing user-visible paths).
+    pub fault_control: bool,
+}
+
+impl FaultConfig {
+    /// A quiet shim: seeded, but all fault probabilities zero. Useful as
+    /// a starting point for builder-style tweaks.
+    pub fn new(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            reorder_p: 0.0,
+            delay_ns: (200_000, 2_000_000),
+            dup_delay_ns: (10_000, 500_000),
+            reorder_delay_ns: (10_000, 200_000),
+            fault_control: false,
+        }
+    }
+
+    /// Set the drop probability.
+    pub fn drop_p(mut self, p: f64) -> FaultConfig {
+        self.drop_p = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn dup_p(mut self, p: f64) -> FaultConfig {
+        self.dup_p = p;
+        self
+    }
+
+    /// Set the delay probability.
+    pub fn delay_p(mut self, p: f64) -> FaultConfig {
+        self.delay_p = p;
+        self
+    }
+
+    /// Set the reorder probability.
+    pub fn reorder_p(mut self, p: f64) -> FaultConfig {
+        self.reorder_p = p;
+        self
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop_p", self.drop_p),
+            ("dup_p", self.dup_p),
+            ("delay_p", self.delay_p),
+            ("reorder_p", self.reorder_p),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} outside [0, 1]");
+        }
+    }
+}
+
+/// Always-on tallies of what the shim did (relaxed atomics, same
+/// soundness argument as [`CommStats`]).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Messages discarded.
+    pub dropped: AtomicU64,
+    /// Messages delivered twice.
+    pub duplicated: AtomicU64,
+    /// Messages held on the delay path.
+    pub delayed: AtomicU64,
+    /// Messages held on the (short) reorder path.
+    pub reordered: AtomicU64,
+    /// Messages that passed through unfaulted.
+    pub passed: AtomicU64,
+}
+
+impl FaultStats {
+    /// Copy all counters.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            passed: self.passed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on FaultStats
+pub struct FaultStatsSnapshot {
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+    pub reordered: u64,
+    pub passed: u64,
+}
+
+struct HeldEntry {
+    due: Instant,
+    seq: u64,
+    header: Header,
+    body: Bytes,
+}
+
+impl PartialEq for HeldEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for HeldEntry {}
+impl PartialOrd for HeldEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct InjectorState {
+    /// Per-link decision streams, created lazily and seeded from the
+    /// world seed and the link's coordinates (order-independent).
+    links: HashMap<(Address, Address), SplitMix64>,
+    /// Held copies awaiting their due time. No per-link FIFO floor —
+    /// that absence is what produces genuine reordering.
+    held: BinaryHeap<Reverse<HeldEntry>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// What the shim decided for one message, returned to the router.
+pub(crate) enum FaultAction {
+    /// Deliver now, nothing else.
+    Deliver,
+    /// Discard.
+    Drop,
+    /// Deliver now *and* deliver the enqueued copy later.
+    DeliverAndHoldCopy,
+    /// Only the held copy will be delivered (original is the held one).
+    HoldOnly,
+}
+
+/// The fault shim: per-link PRNGs, the held-message queue, and the
+/// background deliverer that drains it.
+pub(crate) struct FaultInjector {
+    config: FaultConfig,
+    stats: Arc<FaultStats>,
+    state: Mutex<InjectorState>,
+    cv: Condvar,
+}
+
+impl FaultInjector {
+    /// Create the shim and start its deliverer thread.
+    pub fn start(config: FaultConfig, world: Weak<WorldInner>) -> Arc<FaultInjector> {
+        config.validate();
+        let inj = Arc::new(FaultInjector {
+            config,
+            stats: Arc::new(FaultStats::default()),
+            state: Mutex::new(InjectorState {
+                links: HashMap::new(),
+                held: BinaryHeap::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let inj2 = Arc::clone(&inj);
+        std::thread::Builder::new()
+            .name("chant-comm-faults".into())
+            .spawn(move || inj2.run(world))
+            .expect("spawn fault-injector deliverer");
+        inj
+    }
+
+    pub fn stats(&self) -> &Arc<FaultStats> {
+        &self.stats
+    }
+
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_one();
+    }
+
+    fn link_seed(&self, src: Address, dst: Address) -> u64 {
+        // Mix the link coordinates into the world seed; SplitMix64's
+        // output function decorrelates nearby seeds, so adjacent links
+        // get independent-looking streams.
+        let mix = (u64::from(src.pe) << 48)
+            ^ (u64::from(src.process) << 32)
+            ^ (u64::from(dst.pe) << 16)
+            ^ u64::from(dst.process);
+        SplitMix64::new(self.config.seed ^ mix.wrapping_mul(0xA24B_AED4_963E_E407)).next_u64()
+    }
+
+    /// Decide this message's fate and enqueue any held copy. Called on
+    /// the sender's path, before synchronous delivery.
+    pub fn apply(&self, header: &Header, body: &Bytes) -> FaultAction {
+        if !self.config.fault_control
+            && header.kind == crate::header::kind::DATA
+            && header.tag >= CONTROL_TAG_BASE
+        {
+            CommStats::bump(&self.stats.passed);
+            return FaultAction::Deliver;
+        }
+        let mut st = self.state.lock();
+        let link = (header.src, header.dst);
+        let seed = self.link_seed(header.src, header.dst);
+        let rng = st
+            .links
+            .entry(link)
+            .or_insert_with(|| SplitMix64::new(seed));
+        // Draw all four decisions unconditionally so the stream position
+        // does not depend on the config — same seed, same per-message
+        // randomness under any probability mix.
+        let (r_drop, r_dup, r_delay, r_reorder) = (
+            rng.next_f64(),
+            rng.next_f64(),
+            rng.next_f64(),
+            rng.next_f64(),
+        );
+        let hold = rng.next_f64();
+
+        if r_drop < self.config.drop_p {
+            CommStats::bump(&self.stats.dropped);
+            self.emit(FaultKind::Dropped, header);
+            return FaultAction::Drop;
+        }
+        if r_dup < self.config.dup_p {
+            CommStats::bump(&self.stats.duplicated);
+            self.emit(FaultKind::Duplicated, header);
+            let (lo, hi) = self.config.dup_delay_ns;
+            let ns = lo + ((hi.saturating_sub(lo) + 1) as f64 * hold) as u64;
+            Self::enqueue(&mut st, Instant::now() + Duration::from_nanos(ns), header, body);
+            self.cv.notify_one();
+            return FaultAction::DeliverAndHoldCopy;
+        }
+        if r_delay < self.config.delay_p {
+            CommStats::bump(&self.stats.delayed);
+            self.emit(FaultKind::Delayed, header);
+            let (lo, hi) = self.config.delay_ns;
+            let ns = lo + ((hi.saturating_sub(lo) + 1) as f64 * hold) as u64;
+            Self::enqueue(&mut st, Instant::now() + Duration::from_nanos(ns), header, body);
+            self.cv.notify_one();
+            return FaultAction::HoldOnly;
+        }
+        if r_reorder < self.config.reorder_p {
+            CommStats::bump(&self.stats.reordered);
+            self.emit(FaultKind::Reordered, header);
+            let (lo, hi) = self.config.reorder_delay_ns;
+            let ns = lo + ((hi.saturating_sub(lo) + 1) as f64 * hold) as u64;
+            Self::enqueue(&mut st, Instant::now() + Duration::from_nanos(ns), header, body);
+            self.cv.notify_one();
+            return FaultAction::HoldOnly;
+        }
+        CommStats::bump(&self.stats.passed);
+        FaultAction::Deliver
+    }
+
+    fn enqueue(st: &mut InjectorState, due: Instant, header: &Header, body: &Bytes) {
+        st.seq += 1;
+        let seq = st.seq;
+        st.held.push(Reverse(HeldEntry {
+            due,
+            seq,
+            header: *header,
+            body: body.clone(),
+        }));
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit(&self, kind: FaultKind, header: &Header) {
+        let reg = chant_obs::registry();
+        let name = match kind {
+            FaultKind::Dropped => "comm.fault.dropped",
+            FaultKind::Duplicated => "comm.fault.duplicated",
+            FaultKind::Delayed => "comm.fault.delayed",
+            FaultKind::Reordered => "comm.fault.reordered",
+        };
+        reg.counter(name).incr();
+        let _ = header;
+    }
+
+    #[cfg(not(feature = "trace"))]
+    fn emit(&self, _kind: FaultKind, _header: &Header) {}
+
+    /// Background deliverer: drains held copies at their due times,
+    /// guaranteeing eventual delivery of everything not dropped.
+    fn run(&self, world: Weak<WorldInner>) {
+        loop {
+            let entry = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    let now = Instant::now();
+                    match st.held.peek() {
+                        Some(Reverse(e)) if e.due <= now => {
+                            break st.held.pop().expect("peeked entry").0;
+                        }
+                        Some(Reverse(e)) => {
+                            let wait = e.due - now;
+                            self.cv.wait_for(&mut st, wait);
+                        }
+                        None => {
+                            self.cv.wait(&mut st);
+                        }
+                    }
+                }
+            };
+            match world.upgrade() {
+                Some(w) => w
+                    .endpoint(entry.header.dst)
+                    .deliver(entry.header, entry.body),
+                None => return,
+            }
+        }
+    }
+}
+
+enum FaultKind {
+    Dropped,
+    Duplicated,
+    Delayed,
+    Reordered,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_distributed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64(), "nearby seeds must diverge");
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_are_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let v = r.next_range(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(r.next_range(5, 5), 5);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_probabilities() {
+        let bad = FaultConfig::new(1).drop_p(1.5);
+        let err = std::panic::catch_unwind(|| bad.validate());
+        assert!(err.is_err());
+    }
+}

@@ -91,10 +91,18 @@ impl RecvShared {
 ///
 /// Cloneable so that a polling policy (e.g. the PS algorithm's per-TCB
 /// pending request) can test the same receive the blocked thread owns.
+///
+/// When the **last** clone is dropped with the receive still unmatched,
+/// the posted entry is retired from the endpoint's matching tables —
+/// an abandoned receive must not claim (and silently lose) a future
+/// arrival.
 #[derive(Clone)]
 pub struct RecvHandle {
     pub(crate) shared: Arc<RecvShared>,
     pub(crate) stats: Arc<CommStats>,
+    /// Retire-on-drop token shared by all clones; `None` for receives
+    /// satisfied at posting time (nothing left in the tables to retire).
+    pub(crate) owner: Option<Arc<crate::endpoint::RecvOwner>>,
     /// The owning endpoint's trace lane, so completion inquiries land on
     /// the endpoint's timeline track.
     #[cfg(feature = "trace")]
@@ -135,6 +143,24 @@ impl RecvHandle {
         while !st.done {
             self.shared.cv.wait(&mut st);
         }
+    }
+
+    /// Block the calling **OS thread** until completion or until
+    /// `timeout` elapses; returns whether the receive completed. Same
+    /// blocking-guard rules as [`RecvHandle::msgwait`].
+    pub fn msgwait_timeout(&self, timeout: std::time::Duration) -> bool {
+        assert_may_block("msgwait_timeout");
+        CommStats::bump(&self.stats.blocking_waits);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        while !st.done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.cv.wait_for(&mut st, deadline - now);
+        }
+        true
     }
 
     /// Claim the delivered message. Returns `None` until completion, and
@@ -193,6 +219,7 @@ mod tests {
         RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::new(CommStats::default()),
+            owner: None,
             #[cfg(feature = "trace")]
             lane: None,
         }
@@ -251,6 +278,7 @@ mod tests {
         let b = RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::clone(&a.stats),
+            owner: None,
             #[cfg(feature = "trace")]
             lane: None,
         };

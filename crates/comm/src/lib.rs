@@ -45,6 +45,7 @@
 
 mod delay;
 mod endpoint;
+mod fault;
 mod guard;
 mod handle;
 mod header;
@@ -57,6 +58,7 @@ mod world;
 
 pub use delay::LatencyModel;
 pub use endpoint::Endpoint;
+pub use fault::{FaultConfig, FaultStats, FaultStatsSnapshot, CONTROL_TAG_BASE};
 pub use guard::set_blocking_guard;
 pub use handle::{RecvHandle, SendHandle};
 pub use testany::{testany, CompletionSet};

@@ -40,6 +40,9 @@ pub struct CommStats {
     pub unexpected_buffered: AtomicU64,
     /// Posted receives satisfied from the unexpected queue.
     pub unexpected_claimed: AtomicU64,
+    /// Posted receives retired unmatched when their last handle was
+    /// dropped (abandoned receives must not claim future arrivals).
+    pub posted_retired: AtomicU64,
     /// `msgtest` calls (the paper's "total number of msgtest calls").
     pub msgtests: AtomicU64,
     /// `msgtest` calls that returned "not yet" (the paper's Figure 12
@@ -77,6 +80,7 @@ impl CommStats {
             posted_matches: self.posted_matches.load(Ordering::Relaxed),
             unexpected_buffered: self.unexpected_buffered.load(Ordering::Relaxed),
             unexpected_claimed: self.unexpected_claimed.load(Ordering::Relaxed),
+            posted_retired: self.posted_retired.load(Ordering::Relaxed),
             msgtests: self.msgtests.load(Ordering::Relaxed),
             msgtest_failures: self.msgtest_failures.load(Ordering::Relaxed),
             testany_calls: self.testany_calls.load(Ordering::Relaxed),
@@ -97,6 +101,7 @@ pub struct CommStatsSnapshot {
     pub posted_matches: u64,
     pub unexpected_buffered: u64,
     pub unexpected_claimed: u64,
+    pub posted_retired: u64,
     pub msgtests: u64,
     pub msgtest_failures: u64,
     pub testany_calls: u64,
@@ -122,6 +127,7 @@ impl CommStatsSnapshot {
             unexpected_claimed: self
                 .unexpected_claimed
                 .saturating_sub(earlier.unexpected_claimed),
+            posted_retired: self.posted_retired.saturating_sub(earlier.posted_retired),
             msgtests: self.msgtests.saturating_sub(earlier.msgtests),
             msgtest_failures: self.msgtest_failures.saturating_sub(earlier.msgtest_failures),
             testany_calls: self.testany_calls.saturating_sub(earlier.testany_calls),

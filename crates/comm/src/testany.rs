@@ -162,12 +162,14 @@ mod tests {
         let a = RecvHandle {
             shared: RecvShared::new(),
             stats: Arc::clone(&stats),
+            owner: None,
             #[cfg(feature = "trace")]
             lane: None,
         };
         let b = RecvHandle {
             shared: RecvShared::new(),
             stats,
+            owner: None,
             #[cfg(feature = "trace")]
             lane: None,
         };

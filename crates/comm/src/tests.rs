@@ -390,3 +390,149 @@ fn iprobe_then_crecv_consumes_the_probed_message() {
     assert_eq!(&body[..], b"probed");
     assert!(!bep.iprobe(RecvSpec::tag(6)), "consumed by the crecv");
 }
+
+// ---------------------------------------------------------------------
+// Retire-on-drop (abandoned posted receives) and timed waits
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_handle_retires_its_posted_receive() {
+    let world = CommWorld::flat(2);
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+
+    let h = bep.irecv(RecvSpec::tag(9));
+    assert_eq!(bep.outstanding_recvs(), 1);
+    drop(h);
+    assert_eq!(bep.outstanding_recvs(), 0, "abandoned receive must retire");
+    assert_eq!(bep.stats().snapshot().posted_retired, 1);
+
+    // Regression: the message must NOT match the dead receive — it goes
+    // to the unexpected queue where a live receive can still claim it.
+    a.isend(Address::new(1, 0), 9, 0, kind::DATA, b("late"));
+    assert_eq!(bep.unexpected_len(), 1);
+    let h2 = bep.irecv(RecvSpec::tag(9));
+    assert_eq!(&h2.take().unwrap().1[..], b"late", "message must survive");
+}
+
+#[test]
+fn clones_share_one_retire_token() {
+    let world = CommWorld::flat(2);
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(4));
+    let h2 = h.clone();
+    drop(h);
+    assert_eq!(bep.outstanding_recvs(), 1, "a live clone keeps the post");
+    drop(h2);
+    assert_eq!(bep.outstanding_recvs(), 0);
+}
+
+#[test]
+fn completed_receive_is_not_retired_on_drop() {
+    let world = CommWorld::flat(2);
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(5));
+    a.isend(Address::new(1, 0), 5, 0, kind::DATA, b("x"));
+    assert!(h.is_complete());
+    drop(h);
+    assert_eq!(bep.stats().snapshot().posted_retired, 0);
+}
+
+#[test]
+fn msgwait_timeout_expires_then_succeeds() {
+    use std::time::Duration;
+    let world = CommWorld::flat(2);
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(6));
+    assert!(!h.msgwait_timeout(Duration::from_millis(10)));
+    a.isend(Address::new(1, 0), 6, 0, kind::DATA, b("now"));
+    assert!(h.msgwait_timeout(Duration::from_millis(10)));
+}
+
+// ---------------------------------------------------------------------
+// Fault shim
+// ---------------------------------------------------------------------
+
+#[test]
+fn quiet_shim_changes_nothing() {
+    let world = CommWorld::with_faults(2, 1, crate::FaultConfig::new(1));
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(1));
+    a.isend(Address::new(1, 0), 1, 0, kind::DATA, b("hi"));
+    assert!(h.msgtest());
+    let fs = world.fault_stats().unwrap();
+    assert_eq!(fs.passed, 1);
+    assert_eq!(fs.dropped + fs.duplicated + fs.delayed + fs.reordered, 0);
+}
+
+#[test]
+fn full_drop_loses_every_message() {
+    let world = CommWorld::with_faults(2, 1, crate::FaultConfig::new(2).drop_p(1.0));
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(1));
+    for _ in 0..10 {
+        a.isend(Address::new(1, 0), 1, 0, kind::DATA, b("void"));
+    }
+    assert!(!h.msgtest());
+    assert_eq!(world.fault_stats().unwrap().dropped, 10);
+}
+
+#[test]
+fn full_duplication_delivers_twice_eventually() {
+    let world = CommWorld::with_faults(2, 1, crate::FaultConfig::new(3).dup_p(1.0));
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    a.isend(Address::new(1, 0), 1, 0, kind::DATA, b("twice"));
+    // Original is synchronous; the copy arrives via the deliverer.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while bep.unexpected_len() < 2 {
+        assert!(std::time::Instant::now() < deadline, "copy never arrived");
+        std::thread::yield_now();
+    }
+    assert_eq!(world.fault_stats().unwrap().duplicated, 1);
+}
+
+#[test]
+fn delayed_message_arrives_late_but_arrives() {
+    let mut cfg = crate::FaultConfig::new(4).delay_p(1.0);
+    cfg.delay_ns = (1_000_000, 2_000_000);
+    let world = CommWorld::with_faults(2, 1, cfg);
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+    let h = bep.irecv(RecvSpec::tag(1));
+    a.isend(Address::new(1, 0), 1, 0, kind::DATA, b("held"));
+    assert!(!h.is_complete(), "delayed message must not arrive inline");
+    h.msgwait(); // OS-thread wait is fine in a plain test
+    assert_eq!(&h.take().unwrap().1[..], b"held");
+    assert_eq!(world.fault_stats().unwrap().delayed, 1);
+}
+
+#[test]
+fn reordering_lets_later_traffic_overtake() {
+    // Hold every data message for a fixed 30 ms; control-range tags are
+    // exempt, so a control message sent *after* a held data message must
+    // arrive *before* it — the per-sender FIFO guarantee is broken, which
+    // is exactly what the reorder fault models.
+    let mut cfg = crate::FaultConfig::new(6).reorder_p(1.0);
+    cfg.reorder_delay_ns = (30_000_000, 30_000_000);
+    let world = CommWorld::with_faults(2, 1, cfg);
+    let a = world.endpoint(Address::new(0, 0));
+    let bep = world.endpoint(Address::new(1, 0));
+
+    let held = bep.irecv(RecvSpec::tag(1));
+    a.isend(Address::new(1, 0), 1, 0, kind::DATA, b("held"));
+    a.isend(Address::new(1, 0), 0xFF01, 0, kind::DATA, b("ctrl"));
+    assert_eq!(
+        bep.unexpected_len(),
+        1,
+        "control-range message passes the shim synchronously"
+    );
+    assert!(!held.is_complete(), "reordered message must still be in flight");
+    held.msgwait();
+    assert_eq!(&held.take().unwrap().1[..], b"held");
+    assert_eq!(world.fault_stats().unwrap().reordered, 1);
+}

@@ -13,6 +13,7 @@ use bytes::Bytes;
 
 use crate::delay::{DelayLine, LatencyModel};
 use crate::endpoint::Endpoint;
+use crate::fault::{FaultAction, FaultConfig, FaultInjector, FaultStatsSnapshot};
 use crate::header::{Address, Header};
 use crate::stats::CommStatsSnapshot;
 
@@ -21,12 +22,23 @@ pub(crate) struct WorldInner {
     procs_per_pe: u32,
     endpoints: Vec<Arc<Endpoint>>,
     delay: Option<Arc<DelayLine>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl WorldInner {
-    /// Route a message: through the delay line when a latency model is
-    /// installed, otherwise deliver synchronously.
+    /// Route a message: through the fault shim when one is installed,
+    /// then through the delay line when a latency model is installed,
+    /// otherwise deliver synchronously.
     pub(crate) fn route(&self, header: Header, body: Bytes) {
+        if let Some(shim) = &self.faults {
+            match shim.apply(&header, &body) {
+                FaultAction::Deliver | FaultAction::DeliverAndHoldCopy => {}
+                // Dropped outright, or held for the shim's background
+                // deliverer (which bypasses the latency line — held
+                // copies already model in-flight time).
+                FaultAction::Drop | FaultAction::HoldOnly => return,
+            }
+        }
         match &self.delay {
             Some(line) => line.submit(header, body),
             None => self.endpoint(header.dst).deliver(header, body),
@@ -38,6 +50,9 @@ impl Drop for WorldInner {
     fn drop(&mut self) {
         if let Some(line) = &self.delay {
             line.shutdown();
+        }
+        if let Some(shim) = &self.faults {
+            shim.shutdown();
         }
     }
 }
@@ -69,7 +84,7 @@ impl CommWorld {
     /// Create a world of `pes` processing elements with `procs_per_pe`
     /// processes each.
     pub fn new(pes: u32, procs_per_pe: u32) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, None)
+        CommWorld::build(pes, procs_per_pe, None, None)
     }
 
     /// Create a world whose transport imposes wall-clock flight time on
@@ -77,10 +92,34 @@ impl CommWorld {
     /// This makes the live runtime exhibit the latency the paper's
     /// threads exist to hide.
     pub fn with_latency(pes: u32, procs_per_pe: u32, model: LatencyModel) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, Some(model))
+        CommWorld::build(pes, procs_per_pe, Some(model), None)
     }
 
-    fn build(pes: u32, procs_per_pe: u32, model: Option<LatencyModel>) -> CommWorld {
+    /// Create a world with the seeded fault shim installed (see
+    /// [`FaultConfig`]): deliveries may be dropped, duplicated, delayed,
+    /// or reordered per link, deterministically for a given seed.
+    pub fn with_faults(pes: u32, procs_per_pe: u32, config: FaultConfig) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, None, Some(config))
+    }
+
+    /// Create a world with any combination of a latency model and the
+    /// fault shim (the general form of [`CommWorld::with_latency`] /
+    /// [`CommWorld::with_faults`]).
+    pub fn with_options(
+        pes: u32,
+        procs_per_pe: u32,
+        latency: Option<LatencyModel>,
+        faults: Option<FaultConfig>,
+    ) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, latency, faults)
+    }
+
+    pub(crate) fn build(
+        pes: u32,
+        procs_per_pe: u32,
+        model: Option<LatencyModel>,
+        faults: Option<FaultConfig>,
+    ) -> CommWorld {
         assert!(pes > 0 && procs_per_pe > 0, "world must be non-empty");
         let inner = Arc::new_cyclic(|weak| {
             let mut endpoints = Vec::with_capacity((pes * procs_per_pe) as usize);
@@ -97,6 +136,7 @@ impl CommWorld {
                 procs_per_pe,
                 endpoints,
                 delay: model.map(|m| DelayLine::start(m, weak.clone())),
+                faults: faults.map(|c| FaultInjector::start(c, weak.clone())),
             }
         });
         CommWorld { inner }
@@ -105,6 +145,17 @@ impl CommWorld {
     /// Whether this world models message flight time.
     pub fn has_latency(&self) -> bool {
         self.inner.delay.is_some()
+    }
+
+    /// Whether this world has the fault shim installed.
+    pub fn has_faults(&self) -> bool {
+        self.inner.faults.is_some()
+    }
+
+    /// What the fault shim has done so far (`None` when no shim is
+    /// installed).
+    pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        self.inner.faults.as_ref().map(|f| f.stats().snapshot())
     }
 
     /// A flat world: `n` PEs with one process each.
@@ -157,6 +208,7 @@ impl CommWorld {
             total.posted_matches += s.posted_matches;
             total.unexpected_buffered += s.unexpected_buffered;
             total.unexpected_claimed += s.unexpected_claimed;
+            total.posted_retired += s.posted_retired;
             total.msgtests += s.msgtests;
             total.msgtest_failures += s.msgtest_failures;
             total.testany_calls += s.testany_calls;

@@ -11,14 +11,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use chant_comm::{CommProfile, CommStatsSnapshot, CommWorld, LatencyModel};
+use chant_comm::{
+    CommProfile, CommStatsSnapshot, CommWorld, FaultConfig, FaultStatsSnapshot, LatencyModel,
+};
 use chant_ult::{Priority, SpawnAttr};
 
 use crate::error::ChantError;
 use crate::node::{ChantNode, EntryFn};
 use crate::naming::NamingMode;
 use crate::poll::PollingPolicy;
-use crate::rsr::{HandlerTable, RsrHandler, RsrRequest, SERVER_FN_USER_BASE};
+use crate::rsr::{
+    HandlerTable, RetryPolicy, RsrHandler, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE,
+};
 use crate::RecvSrc;
 
 /// Reserved control tags used by the cluster termination protocol.
@@ -34,6 +38,8 @@ pub struct ClusterBuilder {
     policy: PollingPolicy,
     server: bool,
     latency: Option<LatencyModel>,
+    faults: Option<FaultConfig>,
+    retry: Option<RetryPolicy>,
     profile: CommProfile,
     entries: HashMap<String, EntryFn>,
     handlers: HandlerTable,
@@ -48,6 +54,8 @@ impl ClusterBuilder {
             policy: PollingPolicy::default(),
             server: true,
             latency: None,
+            faults: None,
+            retry: None,
             profile: CommProfile::NATIVE,
             entries: HashMap::new(),
             handlers: HashMap::new(),
@@ -96,6 +104,25 @@ impl ClusterBuilder {
     /// hide behind computation (paper §1).
     pub fn latency(mut self, model: LatencyModel) -> ClusterBuilder {
         self.latency = Some(model);
+        self
+    }
+
+    /// Install the deterministic fault-injection shim on the cluster's
+    /// transport (default: none — delivery is reliable). With a
+    /// [`FaultConfig`], deliveries may be dropped, duplicated, delayed,
+    /// or reordered per link, reproducibly for a given seed; cluster
+    /// control traffic (tags `0xFF00..`) is exempt unless the config says
+    /// otherwise. Pair lossy configs with [`ClusterBuilder::rsr_retry`]
+    /// so remote ops survive the losses.
+    pub fn faults(mut self, config: FaultConfig) -> ClusterBuilder {
+        self.faults = Some(config);
+        self
+    }
+
+    /// Bound and retry remote operations (default: none — remote ops
+    /// wait forever, the pre-robustness semantics). See [`RetryPolicy`].
+    pub fn rsr_retry(mut self, policy: RetryPolicy) -> ClusterBuilder {
+        self.retry = Some(policy);
         self
     }
 
@@ -162,10 +189,8 @@ impl ClusterBuilder {
         // primitives must not be used from user-level thread context.
         chant_comm::set_blocking_guard(chant_ult::is_ult_context);
 
-        let world = match self.latency {
-            Some(model) => CommWorld::with_latency(self.pes, self.procs_per_pe, model),
-            None => CommWorld::new(self.pes, self.procs_per_pe),
-        };
+        let world =
+            CommWorld::with_options(self.pes, self.procs_per_pe, self.latency, self.faults);
         let entries = Arc::new(self.entries);
         let handlers = Arc::new(self.handlers);
         let mut nodes = Vec::new();
@@ -177,6 +202,7 @@ impl ClusterBuilder {
                     world.clone(),
                     self.naming,
                     self.policy,
+                    self.retry.clone(),
                     Arc::clone(&entries),
                     Arc::clone(&handlers),
                 ));
@@ -318,8 +344,10 @@ impl ChantCluster {
                     process: n.process(),
                     sched: n.vp().stats().snapshot(),
                     comm: n.endpoint().stats().snapshot(),
+                    rsr: n.rsr_stats(),
                 })
                 .collect(),
+            faults: self.world.fault_stats(),
         };
 
         // Fold the run's tallies into the global metrics registry so a
@@ -339,6 +367,10 @@ impl ChantCluster {
                 reg.counter("cluster.posted_matches").add(n.comm.posted_matches);
                 reg.counter("cluster.unexpected_claimed")
                     .add(n.comm.unexpected_claimed);
+                reg.counter("core.rsr_retries").add(n.rsr.retries);
+                reg.counter("core.rsr_timeouts").add(n.rsr.timeouts);
+                reg.counter("core.rsr_dup_dropped").add(n.rsr.dup_dropped);
+                reg.counter("core.rsr_dup_replayed").add(n.rsr.dup_replayed);
             }
         }
         report
@@ -399,6 +431,9 @@ pub struct ClusterReport {
     pub elapsed: Duration,
     /// Per-node statistics, in rank order.
     pub nodes: Vec<NodeReport>,
+    /// What the fault shim did during the run (`None` when no shim was
+    /// installed).
+    pub faults: Option<FaultStatsSnapshot>,
 }
 
 /// One node's statistics.
@@ -412,6 +447,8 @@ pub struct NodeReport {
     pub sched: chant_ult::StatsSnapshot,
     /// Communication counters (msgtests, sends, ...).
     pub comm: CommStatsSnapshot,
+    /// RSR robustness counters (retries, timeouts, dedup hits, ...).
+    pub rsr: RsrStatsSnapshot,
 }
 
 impl ClusterReport {
@@ -435,5 +472,20 @@ impl ClusterReport {
     /// Total partial switches across all nodes (PS policy).
     pub fn total_partial_switches(&self) -> u64 {
         self.nodes.iter().map(|n| n.sched.partial_switches).sum()
+    }
+
+    /// Total RSR retransmissions across all nodes — nonzero in a lossy
+    /// run means the retry machinery did its job.
+    pub fn total_rsr_retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.rsr.retries).sum()
+    }
+
+    /// Total duplicate RSRs suppressed (dropped in flight or replayed
+    /// from the cached-reply window) across all nodes.
+    pub fn total_rsr_dups_suppressed(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.rsr.dup_dropped + n.rsr.dup_replayed)
+            .sum()
     }
 }

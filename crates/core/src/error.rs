@@ -58,6 +58,15 @@ pub enum ChantError {
     /// A malformed wire message was received (internal error or
     /// version mismatch).
     Wire(String),
+    /// A deadline elapsed before the operation completed. For remote ops
+    /// with retry enabled this means every attempt timed out but the
+    /// target node still answers PINGs — the *operation's* fate is
+    /// unknown (it may yet execute); the node is alive.
+    Timeout,
+    /// A remote operation exhausted its retries *and* the target node
+    /// failed a liveness PING: the node is considered dead or
+    /// partitioned, so failing fast beats waiting forever.
+    NodeUnreachable(ChanterId),
 }
 
 impl fmt::Display for ChantError {
@@ -90,6 +99,10 @@ impl fmt::Display for ChantError {
                 write!(f, "operation requires a Chant thread context")
             }
             ChantError::Wire(msg) => write!(f, "malformed wire message: {msg}"),
+            ChantError::Timeout => write!(f, "operation timed out"),
+            ChantError::NodeUnreachable(id) => {
+                write!(f, "node ({}, {}) unreachable", id.pe, id.process)
+            }
         }
     }
 }

@@ -74,7 +74,11 @@ pub use node::{ChantNode, ChantRecvHandle, MsgInfo, RecvSrc};
 pub use ops::RemoteSpawnOptions;
 pub use poll::PollingPolicy;
 pub use port::{port_send, Port, PortAddress};
-pub use rsr::{RsrRequest, SERVER_FN_USER_BASE};
+pub use rsr::{RetryPolicy, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE};
+
+// Fault-injection configuration, re-exported so cluster users can build
+// lossy worlds without depending on `chant_comm` directly.
+pub use chant_comm::{FaultConfig, FaultStats, FaultStatsSnapshot};
 
 #[cfg(test)]
 mod tests;

@@ -23,7 +23,7 @@ use crate::error::ChantError;
 use crate::id::ChanterId;
 use crate::naming::NamingMode;
 use crate::poll::{PollEngine, PollingPolicy};
-use crate::rsr::{HandlerTable, RsrState};
+use crate::rsr::{HandlerTable, RetryPolicy, RsrState, RsrStatsSnapshot};
 
 /// A thread entry function registered in the cluster's entry table,
 /// nameable from remote nodes (paper §3.3: remote thread creation).
@@ -41,6 +41,9 @@ pub(crate) struct ExitRecord {
     pub outcome: ExitOutcome,
     pub claimed: bool,
 }
+
+/// One party to a deferred JOIN reply: `(joiner, reply_token, seq)`.
+pub(crate) type JoinWaiter = (ChanterId, u32, u64);
 
 /// Panic payload implementing `pthread_chanter_exit`: terminate the
 /// calling thread, making `0.0` its exit value.
@@ -63,7 +66,10 @@ pub struct ChantNode {
     pub(crate) handlers: Arc<HandlerTable>,
     pub(crate) rsr: RsrState,
     pub(crate) exits: Mutex<HashMap<Tid, ExitRecord>>,
-    pub(crate) exit_waiters: Mutex<HashMap<Tid, Vec<(ChanterId, u32)>>>,
+    /// Deferred JOIN repliers: `(joiner, reply_token, request_seq)` per
+    /// still-running thread. The seq rides along so the reply can be
+    /// cached in the dedup window when it is finally sent.
+    pub(crate) exit_waiters: Mutex<HashMap<Tid, Vec<JoinWaiter>>>,
     /// Threads detached before exiting: their exit record is discarded.
     pub(crate) detach_requested: Mutex<std::collections::HashSet<Tid>>,
     /// Node-local key/value store backing the remote-fetch/store service
@@ -73,12 +79,14 @@ pub struct ChantNode {
 }
 
 impl ChantNode {
+    #[allow(clippy::too_many_arguments)] // crate-internal, called once by the builder
     pub(crate) fn new(
         pe: u32,
         process: u32,
         world: CommWorld,
         naming: NamingMode,
         policy: PollingPolicy,
+        retry: Option<RetryPolicy>,
         entries: Arc<HashMap<String, EntryFn>>,
         handlers: Arc<HandlerTable>,
     ) -> Arc<ChantNode> {
@@ -95,7 +103,7 @@ impl ChantNode {
             engine,
             entries,
             handlers,
-            rsr: RsrState::new(),
+            rsr: RsrState::new(retry),
             exits: Mutex::new(HashMap::new()),
             exit_waiters: Mutex::new(HashMap::new()),
             detach_requested: Mutex::new(std::collections::HashSet::new()),
@@ -150,6 +158,18 @@ impl ChantNode {
 
     pub(crate) fn engine(&self) -> &PollEngine {
         &self.engine
+    }
+
+    /// This node's RSR robustness counters (retries, timeouts, dedup
+    /// hits, malformed requests).
+    pub fn rsr_stats(&self) -> RsrStatsSnapshot {
+        self.rsr.snapshot()
+    }
+
+    /// Take the most recent malformed-RSR note, if any (the server
+    /// records one per dropped request instead of writing to stderr).
+    pub fn take_rsr_malformed_note(&self) -> Option<String> {
+        self.rsr.take_malformed_note()
     }
 
     /// The node the calling user-level thread belongs to
@@ -249,7 +269,7 @@ impl ChantNode {
             // First waiter claims the value; the rest see AlreadyJoined —
             // the same single-join rule as pthreads.
             let mut first = true;
-            for (joiner, token) in waiters {
+            for (joiner, token, seq) in waiters {
                 let reply = if detached {
                     Err(ChantError::NoSuchThread(ChanterId::new(
                         self.pe,
@@ -266,7 +286,12 @@ impl ChantNode {
                         tid,
                     )))
                 };
-                self.send_rsr_reply(joiner, token, &reply);
+                let sent = self.send_rsr_reply(joiner, token, seq, &reply);
+                // The deferred reply resolves the window's Pending entry;
+                // cache it so a lost reply can be re-requested.
+                if seq != 0 {
+                    self.rsr.dedup_complete(joiner.address(), seq, sent);
+                }
             }
         }
     }
@@ -332,6 +357,37 @@ impl ChantNode {
         handle
             .take()
             .ok_or_else(|| ChantError::Wire("completed receive had no message".into()))
+    }
+
+    /// Blocking receive with a deadline: like [`ChantNode::recv`] but
+    /// returns [`ChantError::Timeout`] once `timeout` elapses with no
+    /// matching message. The posted receive is retired on return, so a
+    /// message arriving later is buffered as unexpected rather than
+    /// matched to a dead receive.
+    pub fn recv_timeout(
+        &self,
+        src: RecvSrc,
+        tag: Option<i32>,
+        timeout: std::time::Duration,
+    ) -> Result<(MsgInfo, Bytes), ChantError> {
+        let handle = self.irecv(src, tag)?;
+        self.engine
+            .wait_deadline(&handle.inner, std::time::Instant::now() + timeout)?;
+        handle
+            .take()
+            .ok_or_else(|| ChantError::Wire("completed receive had no message".into()))
+    }
+
+    /// Wait for an outstanding receive with a deadline
+    /// (`pthread_chanter_msgwait` bounded in time). The handle stays
+    /// usable after a timeout — the message may still arrive.
+    pub fn msgwait_timeout(
+        &self,
+        handle: &ChantRecvHandle,
+        timeout: std::time::Duration,
+    ) -> Result<(), ChantError> {
+        self.engine
+            .wait_deadline(&handle.inner, std::time::Instant::now() + timeout)
     }
 
     /// Blocking receive from one specific global thread.

@@ -302,7 +302,7 @@ fn handle_join(node: &Arc<ChantNode>, env: &RsrEnvelope) -> Option<Result<Bytes,
         .lock()
         .entry(tid)
         .or_default()
-        .push((env.from, env.reply_token));
+        .push((env.from, env.reply_token, env.seq));
     drop(exits);
     None
 }

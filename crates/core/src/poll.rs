@@ -26,12 +26,16 @@
 //!   MPI-class layers.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use chant_comm::{CompletionSet, RecvHandle};
 use serde::{Deserialize, Serialize};
 use chant_ult::{current_tid, Priority, SchedulerHook, Tid, Vp};
 use parking_lot::Mutex;
+
+use crate::error::ChantError;
 
 /// Which algorithm resumes threads blocked on a receive.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -101,6 +105,11 @@ pub(crate) struct WqHook {
     // back-reference would form a cycle and leak the whole VP.
     vp: Mutex<Option<std::sync::Weak<Vp>>>,
     table: Mutex<WqTable>,
+    /// Deadlines armed by timed waits, keyed by thread. Kept out of the
+    /// matching table so the no-deadline case costs one relaxed load per
+    /// schedule point (lock order: `table` before `deadlines`).
+    deadlines: Mutex<Vec<(Tid, Instant)>>,
+    armed: AtomicUsize,
 }
 
 impl WqHook {
@@ -117,6 +126,8 @@ impl WqHook {
         Arc::new(WqHook {
             vp: Mutex::new(None),
             table: Mutex::new(table),
+            deadlines: Mutex::new(Vec::new()),
+            armed: AtomicUsize::new(0),
         })
     }
 
@@ -132,6 +143,33 @@ impl WqHook {
                 owner.insert(token, tid);
                 by_tid.entry(tid).or_default().push(token);
             }
+        }
+    }
+
+    /// Drop every request `tid` registered — a timed-out waiter must not
+    /// linger in the table and be "completed" at it later.
+    fn unregister(&self, tid: Tid) {
+        match &mut *self.table.lock() {
+            WqTable::Nx(entries) => entries.retain(|(t, _)| *t != tid),
+            WqTable::Testany { set, owner, by_tid } => {
+                for token in by_tid.remove(&tid).unwrap_or_default() {
+                    set.remove(token);
+                    owner.remove(&token);
+                }
+            }
+        }
+    }
+
+    fn arm_deadline(&self, tid: Tid, deadline: Instant) {
+        self.deadlines.lock().push((tid, deadline));
+        self.armed.fetch_add(1, Ordering::Release);
+    }
+
+    fn disarm_deadline(&self, tid: Tid) {
+        let mut dl = self.deadlines.lock();
+        if let Some(i) = dl.iter().position(|(t, _)| *t == tid) {
+            dl.swap_remove(i);
+            self.armed.fetch_sub(1, Ordering::Release);
         }
     }
 
@@ -166,6 +204,7 @@ impl SchedulerHook for WqHook {
                             owner.remove(&sibling);
                         }
                     }
+                    self.disarm_deadline(tid);
                     let _ = vp.unblock(tid);
                 }
             }
@@ -181,10 +220,28 @@ impl SchedulerHook for WqHook {
                         // (wait-any); drop its other entries so it is
                         // woken exactly once.
                         entries.retain(|(t, _)| *t != tid);
+                        self.disarm_deadline(tid);
                         let _ = vp.unblock(tid);
                     } else {
                         i += 1;
                     }
+                }
+            }
+        }
+        // Expired timed waits: wake them so they can observe the timeout.
+        // Their table entries stay registered until the woken thread
+        // calls `unregister` on itself.
+        if self.armed.load(Ordering::Acquire) > 0 {
+            let now = Instant::now();
+            let mut dl = self.deadlines.lock();
+            let mut i = 0;
+            while i < dl.len() {
+                if dl[i].1 <= now {
+                    let (tid, _) = dl.swap_remove(i);
+                    self.armed.fetch_sub(1, Ordering::Release);
+                    let _ = vp.unblock(tid);
+                } else {
+                    i += 1;
                 }
             }
         }
@@ -276,6 +333,74 @@ impl PollEngine {
                     handle.is_complete(),
                     "PS dispatch resumed a thread whose receive is incomplete"
                 );
+            }
+        }
+    }
+
+    /// Like [`PollEngine::wait`], but give up once `deadline` passes.
+    /// Returns `Err(ChantError::Timeout)` on expiry; the handle stays
+    /// valid (the message may still arrive later). Kept separate from
+    /// `wait` so untimed receives pay nothing for deadline bookkeeping.
+    pub fn wait_deadline(
+        &self,
+        handle: &RecvHandle,
+        deadline: Instant,
+    ) -> Result<(), ChantError> {
+        if handle.msgtest() {
+            return Ok(());
+        }
+        match self.policy {
+            PollingPolicy::ThreadPolls => loop {
+                if Instant::now() >= deadline {
+                    return Err(ChantError::Timeout);
+                }
+                self.vp.yield_now();
+                if handle.msgtest() {
+                    return Ok(());
+                }
+            },
+            PollingPolicy::SchedulerPollsWq | PollingPolicy::SchedulerPollsWqTestany => {
+                let me = current_tid().expect("wait_deadline outside a user-level thread");
+                let wq = self.wq.as_ref().expect("WQ policy without its hook");
+                wq.register(me, handle.clone());
+                wq.arm_deadline(me, deadline);
+                loop {
+                    self.vp.block();
+                    if handle.is_complete() {
+                        // The completion wake dropped our entries and
+                        // disarmed the deadline; a deadline wake that
+                        // raced a late completion did not — clean up
+                        // both ways (the calls are idempotent).
+                        wq.disarm_deadline(me);
+                        wq.unregister(me);
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        wq.disarm_deadline(me);
+                        wq.unregister(me);
+                        return Err(ChantError::Timeout);
+                    }
+                    // Spurious wake: entries and deadline still armed.
+                }
+            }
+            PollingPolicy::SchedulerPollsPs => {
+                // The TCB's pending check doubles as the timer: the
+                // dispatcher resumes us when the receive completes *or*
+                // the deadline passes, and we disambiguate here.
+                loop {
+                    let h = handle.clone();
+                    self.vp.set_current_pending(Box::new(move || {
+                        h.msgtest() || Instant::now() >= deadline
+                    }));
+                    self.vp.yield_now();
+                    self.vp.take_current_pending();
+                    if handle.is_complete() {
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ChantError::Timeout);
+                    }
+                }
             }
         }
     }

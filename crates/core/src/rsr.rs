@@ -25,13 +25,15 @@
 //! possible ... without having to interrupt a computation thread
 //! prematurely".
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use chant_comm::{kind, Address, RecvSpec};
 use chant_ult::current_tid;
+use parking_lot::Mutex;
 
 use crate::error::ChantError;
 use crate::id::ChanterId;
@@ -81,15 +83,112 @@ pub type RsrHandler =
 
 pub(crate) type HandlerTable = HashMap<u32, RsrHandler>;
 
-/// Per-node RSR state: the reply-token allocator.
+/// Retry/backoff policy for remote operations issued through
+/// [`ChantNode::rsr_call`]. When installed (via
+/// [`crate::ClusterBuilder::rsr_retry`]) every remote op bounds each
+/// attempt with a deadline, retransmits with exponential backoff, and —
+/// once attempts are exhausted — runs one liveness PING to distinguish
+/// [`ChantError::Timeout`] (node alive, op fate unknown) from
+/// [`ChantError::NodeUnreachable`] (node dead or partitioned).
+///
+/// Retransmissions reuse the request's sequence number, so the server's
+/// dedup window guarantees the op executes at most once even when the
+/// transport duplicates or the client re-sends.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total send attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Deadline for the first attempt; doubled per retry.
+    pub base_timeout: Duration,
+    /// Backoff ceiling for the per-attempt deadline.
+    pub max_timeout: Duration,
+    /// Reply window for the final liveness PING.
+    pub liveness_ping: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_timeout: Duration::from_millis(25),
+            max_timeout: Duration::from_millis(400),
+            liveness_ping: Duration::from_millis(200),
+        }
+    }
+}
+
+/// How many per-client request sequence numbers the server remembers.
+/// A retransmission can only arrive while its original is younger than
+/// the window: with in-order-ish links and ≤ `max_attempts` duplicates
+/// per op, 64 outstanding ops per client node is far beyond what the
+/// paper's workloads generate.
+pub(crate) const DEDUP_WINDOW: usize = 64;
+
+enum DedupEntry {
+    /// Executing now, or a deferred reply (JOIN) not yet sent: duplicates
+    /// are dropped so the op cannot run twice or double-register.
+    Pending,
+    /// Done; the cached encoded reply is retransmitted verbatim.
+    Completed(Bytes),
+}
+
+pub(crate) enum DedupVerdict {
+    New,
+    InFlight,
+    Replay(Bytes),
+}
+
+/// Always-on robustness counters (plain relaxed atomics, same pattern as
+/// `CommStats` — cheap enough to keep out of the `trace` gate).
+#[derive(Default)]
+pub(crate) struct RsrStats {
+    pub retries: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub unreachable: AtomicU64,
+    pub dup_dropped: AtomicU64,
+    pub dup_replayed: AtomicU64,
+    pub malformed: AtomicU64,
+}
+
+/// Point-in-time copy of one node's RSR robustness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RsrStatsSnapshot {
+    /// Client-side request retransmissions.
+    pub retries: u64,
+    /// Remote ops that exhausted retries with the target still alive.
+    pub timeouts: u64,
+    /// Remote ops that failed fast because the target missed its PING.
+    pub unreachable: u64,
+    /// Duplicate requests dropped while the original was in flight.
+    pub dup_dropped: u64,
+    /// Duplicate requests answered from the cached-reply window.
+    pub dup_replayed: u64,
+    /// Malformed RSR bodies dropped by the server.
+    pub malformed: u64,
+}
+
+/// Per-node RSR state: reply-token and sequence allocators, the retry
+/// policy, and the server's dedup window.
 pub(crate) struct RsrState {
     token: AtomicU32,
+    /// Request sequence allocator; starts at 1 (0 marks pre-seq traffic,
+    /// exempt from dedup).
+    seq: AtomicU64,
+    pub(crate) retry: Option<RetryPolicy>,
+    dedup: Mutex<HashMap<Address, BTreeMap<u64, DedupEntry>>>,
+    pub(crate) stats: RsrStats,
+    malformed_note: Mutex<Option<String>>,
 }
 
 impl RsrState {
-    pub fn new() -> RsrState {
+    pub fn new(retry: Option<RetryPolicy>) -> RsrState {
         RsrState {
             token: AtomicU32::new(0),
+            seq: AtomicU64::new(1),
+            retry,
+            dedup: Mutex::new(HashMap::new()),
+            stats: RsrStats::default(),
+            malformed_note: Mutex::new(None),
         }
     }
 
@@ -98,6 +197,57 @@ impl RsrState {
     /// addressed in either naming mode).
     pub fn next_token(&self) -> u32 {
         self.token.fetch_add(1, Ordering::Relaxed) % 0xFFFE + 1
+    }
+
+    /// Allocate a request sequence number (per node, never 0).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Server side: classify an incoming request against the dedup
+    /// window, registering fresh sequence numbers as in flight.
+    pub fn dedup_begin(&self, client: Address, seq: u64) -> DedupVerdict {
+        let mut map = self.dedup.lock();
+        let win = map.entry(client).or_default();
+        match win.get(&seq) {
+            Some(DedupEntry::Pending) => DedupVerdict::InFlight,
+            Some(DedupEntry::Completed(b)) => DedupVerdict::Replay(b.clone()),
+            None => {
+                win.insert(seq, DedupEntry::Pending);
+                while win.len() > DEDUP_WINDOW {
+                    win.pop_first();
+                }
+                DedupVerdict::New
+            }
+        }
+    }
+
+    /// Server side: record the encoded reply for a finished request so a
+    /// late duplicate is answered without re-execution.
+    pub fn dedup_complete(&self, client: Address, seq: u64, reply: Bytes) {
+        if let Some(entry) = self.dedup.lock().entry(client).or_default().get_mut(&seq) {
+            *entry = DedupEntry::Completed(reply);
+        }
+    }
+
+    pub fn note_malformed(&self, note: String) {
+        self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+        *self.malformed_note.lock() = Some(note);
+    }
+
+    pub fn snapshot(&self) -> RsrStatsSnapshot {
+        RsrStatsSnapshot {
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            unreachable: self.stats.unreachable.load(Ordering::Relaxed),
+            dup_dropped: self.stats.dup_dropped.load(Ordering::Relaxed),
+            dup_replayed: self.stats.dup_replayed.load(Ordering::Relaxed),
+            malformed: self.stats.malformed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn take_malformed_note(&self) -> Option<String> {
+        self.malformed_note.lock().take()
     }
 }
 
@@ -110,53 +260,165 @@ impl ChantNode {
     /// procedure call). The reply receive is posted *before* the request
     /// is sent, so the response always finds a posted buffer (zero-copy
     /// path) and no completion can be missed.
+    ///
+    /// With a [`RetryPolicy`] installed the wait is bounded: each
+    /// attempt re-sends the *same* token and sequence number (the
+    /// server's dedup window makes retransmission safe) with doubling
+    /// deadlines, and exhaustion ends in [`ChantError::Timeout`] or —
+    /// when the target also misses a liveness PING —
+    /// [`ChantError::NodeUnreachable`].
     pub fn rsr_call(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<Bytes, ChantError> {
         let me = self.self_id();
         let token = self.rsr.next_token();
+        let seq = self.rsr.next_seq();
         let spec = self.naming().recv_spec(
             RecvSpec::any().from(dst).kind(kind::RSR_REPLY),
             me.thread,
             None,
             Some(token as i32),
         )?;
-        let reply = self.endpoint().irecv(spec);
-        let body = encode_rsr(fn_id, token, me, args);
-        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
-        self.wait_handle(&reply);
-        let (_, payload) = reply
-            .take()
-            .ok_or_else(|| ChantError::Wire("completed RSR reply had no message".into()))?;
-        decode_reply(&payload)
+        let body = encode_rsr(fn_id, token, me, seq, args);
+        match self.rsr.retry.clone() {
+            None => self.rsr_exchange(dst, spec, body, seq),
+            Some(policy) => self.rsr_exchange_retrying(dst, spec, body, seq, &policy),
+        }
     }
 
-    /// Issue a fire-and-forget remote service request (no reply).
+    /// The original wait-forever exchange (no retry policy installed).
+    fn rsr_exchange(
+        &self,
+        dst: Address,
+        spec: RecvSpec,
+        body: Bytes,
+        seq: u64,
+    ) -> Result<Bytes, ChantError> {
+        let mut reply = self.endpoint().irecv(spec);
+        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
+        loop {
+            self.wait_handle(&reply);
+            let (_, payload) = reply
+                .take()
+                .ok_or_else(|| ChantError::Wire("completed RSR reply had no message".into()))?;
+            let (echo, result) = decode_reply(&payload)?;
+            if echo == seq {
+                return result;
+            }
+            // A stale reply to a wrapped token: re-post and keep waiting.
+            reply = self.endpoint().irecv(spec);
+        }
+    }
+
+    /// Bounded exchange: deadline per attempt, exponential backoff,
+    /// liveness check on exhaustion.
+    fn rsr_exchange_retrying(
+        &self,
+        dst: Address,
+        spec: RecvSpec,
+        body: Bytes,
+        seq: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Bytes, ChantError> {
+        let mut timeout = policy.base_timeout;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.rsr.stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut reply = self.endpoint().irecv(spec);
+            self.endpoint().isend(dst, 0, 0, kind::RSR, body.clone());
+            let deadline = Instant::now() + timeout;
+            loop {
+                match self.engine().wait_deadline(&reply, deadline) {
+                    Ok(()) => {
+                        let Some((_, payload)) = reply.take() else {
+                            return Err(ChantError::Wire(
+                                "completed RSR reply had no message".into(),
+                            ));
+                        };
+                        let (echo, result) = decode_reply(&payload)?;
+                        if echo == seq {
+                            return result;
+                        }
+                        // Stale echo: re-arm under the same deadline.
+                        reply = self.endpoint().irecv(spec);
+                    }
+                    Err(ChantError::Timeout) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            timeout = (timeout * 2).min(policy.max_timeout);
+        }
+        self.rsr.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        if self.probe_liveness(dst, policy.liveness_ping) {
+            Err(ChantError::Timeout)
+        } else {
+            self.rsr.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            Err(ChantError::NodeUnreachable(ChanterId::new(
+                dst.pe,
+                dst.process,
+                0,
+            )))
+        }
+    }
+
+    /// One unretried PING with a short reply window: does the target's
+    /// server thread still answer at all?
+    fn probe_liveness(&self, dst: Address, window: Duration) -> bool {
+        let me = self.self_id();
+        let token = self.rsr.next_token();
+        let seq = self.rsr.next_seq();
+        let Ok(spec) = self.naming().recv_spec(
+            RecvSpec::any().from(dst).kind(kind::RSR_REPLY),
+            me.thread,
+            None,
+            Some(token as i32),
+        ) else {
+            return false;
+        };
+        let reply = self.endpoint().irecv(spec);
+        let body = encode_rsr(fns::PING, token, me, seq, b"");
+        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
+        self.engine()
+            .wait_deadline(&reply, Instant::now() + window)
+            .is_ok()
+    }
+
+    /// Issue a fire-and-forget remote service request (no reply). Not
+    /// retried (there is no reply to time out on), but sequenced, so the
+    /// dedup window still delivers it at most once under a duplicating
+    /// transport.
     pub fn rsr_post(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<(), ChantError> {
         let me = self.self_id();
-        let body = encode_rsr(fn_id, 0, me, args);
+        let seq = self.rsr.next_seq();
+        let body = encode_rsr(fn_id, 0, me, seq, args);
         self.endpoint().isend(dst, 0, 0, kind::RSR, body);
         Ok(())
     }
 
-    /// Send an RSR reply to a requester thread. Used by the server and
-    /// by deferred repliers (e.g. an exiting thread answering a join).
+    /// Send an RSR reply to a requester thread, returning the encoded
+    /// body so callers can cache it for duplicate replay. Used by the
+    /// server and by deferred repliers (e.g. an exiting thread answering
+    /// a join).
     pub(crate) fn send_rsr_reply(
         &self,
         to: ChanterId,
         token: u32,
+        seq: u64,
         result: &Result<Bytes, ChantError>,
-    ) {
+    ) -> Bytes {
+        let body = encode_reply(seq, result);
+        self.send_rsr_reply_raw(to, token, body.clone());
+        body
+    }
+
+    /// Send a pre-encoded RSR reply body (duplicate replay path).
+    pub(crate) fn send_rsr_reply_raw(&self, to: ChanterId, token: u32, body: Bytes) {
         let me = current_tid().unwrap_or(0);
         let wire = self
             .naming()
             .encode(me, to.thread, token as i32)
             .expect("reply token out of tag range (internal error)");
-        self.endpoint().isend(
-            to.address(),
-            wire.tag,
-            wire.ctx,
-            kind::RSR_REPLY,
-            encode_reply(result),
-        );
+        self.endpoint()
+            .isend(to.address(), wire.tag, wire.ctx, kind::RSR_REPLY, body);
     }
 
     // ------------------------------------------------------------------
@@ -183,6 +445,26 @@ impl ChantNode {
             };
             match decode_rsr(&body) {
                 Ok(env) => {
+                    // Dedup window: a retransmitted or transport-duplicated
+                    // request must not execute twice.
+                    if env.seq != 0 {
+                        match self.rsr.dedup_begin(env.from.address(), env.seq) {
+                            DedupVerdict::New => {}
+                            DedupVerdict::InFlight => {
+                                self.rsr.stats.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                                self.engine().unboost();
+                                continue;
+                            }
+                            DedupVerdict::Replay(cached) => {
+                                self.rsr.stats.dup_replayed.fetch_add(1, Ordering::Relaxed);
+                                if env.reply_token != 0 {
+                                    self.send_rsr_reply_raw(env.from, env.reply_token, cached);
+                                }
+                                self.engine().unboost();
+                                continue;
+                            }
+                        }
+                    }
                     // The serve→done pair becomes a slice on the server
                     // VP's timeline track.
                     #[cfg(feature = "trace")]
@@ -192,11 +474,22 @@ impl ChantNode {
                         now
                     });
                     let reply = ops::dispatch(self, &env);
-                    if env.reply_token != 0 {
-                        if let Some(result) = reply {
-                            self.send_rsr_reply(env.from, env.reply_token, &result);
+                    // A `None` reply means a built-in deferred it (e.g.
+                    // JOIN); the window entry stays Pending until
+                    // `record_exit` sends and caches it.
+                    if let Some(result) = reply {
+                        if env.reply_token != 0 {
+                            let sent =
+                                self.send_rsr_reply(env.from, env.reply_token, env.seq, &result);
+                            if env.seq != 0 {
+                                self.rsr.dedup_complete(env.from.address(), env.seq, sent);
+                            }
+                        } else if env.seq != 0 {
+                            // Fire-and-forget: remember it ran; a
+                            // duplicate is dropped with no resend.
+                            self.rsr
+                                .dedup_complete(env.from.address(), env.seq, Bytes::new());
                         }
-                        // None: a built-in deferred the reply (e.g. JOIN).
                     }
                     #[cfg(feature = "trace")]
                     if let (Some(lane), Some(start)) = (self.vp().obs_lane(), serve_start) {
@@ -209,8 +502,14 @@ impl ChantNode {
                 }
                 Err(e) => {
                     // A malformed request cannot be answered (no envelope
-                    // to route a reply); drop it with a note.
-                    eprintln!("chant: dropping malformed RSR on {}: {e}", self.address());
+                    // to route a reply); count it and keep a note instead
+                    // of scribbling on stderr.
+                    self.rsr.note_malformed(format!(
+                        "dropped malformed RSR on {}: {e}",
+                        self.address()
+                    ));
+                    #[cfg(feature = "trace")]
+                    chant_obs::registry().counter("core.rsr_malformed").incr();
                 }
             }
             self.engine().unboost();

@@ -45,7 +45,6 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
     }
 
-    #[allow(dead_code)] // part of the symmetric reader API; used in tests
     pub fn u64(&mut self) -> Result<u64, ChantError> {
         self.need(8)?;
         let (head, rest) = self.buf.split_at(8);
@@ -94,7 +93,6 @@ impl Writer {
         self
     }
 
-    #[allow(dead_code)] // part of the symmetric writer API; used in tests
     pub fn u64(mut self, v: u64) -> Writer {
         self.buf.put_u64_le(v);
         self
@@ -133,16 +131,27 @@ pub(crate) struct RsrEnvelope {
     pub reply_token: u32,
     /// Who asked (so deferred repliers know where to send).
     pub from: ChanterId,
+    /// Per-client request sequence number. Retransmissions of the same
+    /// logical request reuse the same `seq`, so the server's dedup
+    /// window can recognise (and not re-execute) duplicates.
+    pub seq: u64,
     pub args: Bytes,
 }
 
-pub(crate) fn encode_rsr(fn_id: u32, reply_token: u32, from: ChanterId, args: &[u8]) -> Bytes {
+pub(crate) fn encode_rsr(
+    fn_id: u32,
+    reply_token: u32,
+    from: ChanterId,
+    seq: u64,
+    args: &[u8],
+) -> Bytes {
     Writer::new()
         .u32(fn_id)
         .u32(reply_token)
         .u32(from.pe)
         .u32(from.process)
         .u32(from.thread)
+        .u64(seq)
         .raw(args)
         .finish()
 }
@@ -154,34 +163,41 @@ pub(crate) fn decode_rsr(body: &Bytes) -> Result<RsrEnvelope, ChantError> {
     let pe = r.u32()?;
     let process = r.u32()?;
     let thread = r.u32()?;
+    let seq = r.u64()?;
     let args = Bytes::copy_from_slice(r.rest());
     Ok(RsrEnvelope {
         fn_id,
         reply_token,
         from: ChanterId::new(pe, process, thread),
+        seq,
         args,
     })
 }
 
 // ---------------------------------------------------------------------
-// RSR replies: status byte + payload
+// RSR replies: status byte + seq echo + payload
 // ---------------------------------------------------------------------
 
 pub(crate) const REPLY_OK: u8 = 0;
 pub(crate) const REPLY_ERR: u8 = 1;
 
-pub(crate) fn encode_reply(result: &Result<Bytes, ChantError>) -> Bytes {
+pub(crate) fn encode_reply(seq: u64, result: &Result<Bytes, ChantError>) -> Bytes {
     match result {
-        Ok(payload) => Writer::new().u8(REPLY_OK).raw(payload).finish(),
-        Err(e) => Writer::new().u8(REPLY_ERR).str(&e.to_string()).finish(),
+        Ok(payload) => Writer::new().u8(REPLY_OK).u64(seq).raw(payload).finish(),
+        Err(e) => Writer::new().u8(REPLY_ERR).u64(seq).str(&e.to_string()).finish(),
     }
 }
 
-pub(crate) fn decode_reply(body: &Bytes) -> Result<Bytes, ChantError> {
+/// Decode a reply: outer `Err` is wire malformation, inner is the remote
+/// status. The echoed `seq` lets retrying callers discard stale replies
+/// after the 16-bit reply-token space wraps.
+pub(crate) fn decode_reply(body: &Bytes) -> Result<(u64, Result<Bytes, ChantError>), ChantError> {
     let mut r = Reader::new(body);
-    match r.u8()? {
-        REPLY_OK => Ok(Bytes::copy_from_slice(r.rest())),
-        REPLY_ERR => Err(ChantError::Remote(r.str()?.to_string())),
+    let status = r.u8()?;
+    let seq = r.u64()?;
+    match status {
+        REPLY_OK => Ok((seq, Ok(Bytes::copy_from_slice(r.rest())))),
+        REPLY_ERR => Ok((seq, Err(ChantError::Remote(r.str()?.to_string())))),
         other => Err(ChantError::Wire(format!("bad reply status {other}"))),
     }
 }
@@ -219,22 +235,25 @@ mod tests {
     #[test]
     fn rsr_envelope_roundtrip() {
         let from = ChanterId::new(1, 0, 9);
-        let body = encode_rsr(42, 7, from, b"argbytes");
+        let body = encode_rsr(42, 7, from, 11, b"argbytes");
         let env = decode_rsr(&body).unwrap();
         assert_eq!(env.fn_id, 42);
         assert_eq!(env.reply_token, 7);
         assert_eq!(env.from, from);
+        assert_eq!(env.seq, 11);
         assert_eq!(&env.args[..], b"argbytes");
     }
 
     #[test]
     fn reply_roundtrip_ok_and_err() {
-        let ok = encode_reply(&Ok(Bytes::from_static(b"value")));
-        assert_eq!(&decode_reply(&ok).unwrap()[..], b"value");
+        let ok = encode_reply(3, &Ok(Bytes::from_static(b"value")));
+        let (seq, result) = decode_reply(&ok).unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(&result.unwrap()[..], b"value");
 
-        let err = encode_reply(&Err(ChantError::ThreadCancelled));
+        let err = encode_reply(4, &Err(ChantError::ThreadCancelled));
         match decode_reply(&err) {
-            Err(ChantError::Remote(msg)) => assert!(msg.contains("cancelled")),
+            Ok((4, Err(ChantError::Remote(msg)))) => assert!(msg.contains("cancelled")),
             other => panic!("unexpected {other:?}"),
         }
     }

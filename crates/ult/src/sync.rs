@@ -11,6 +11,7 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex as PlMutex;
 
@@ -32,12 +33,16 @@ fn current_on(expect_vp: &Arc<Vp>) -> Tid {
 /// A cancelled thread unwinds out of its waiting loop without removing
 /// itself from the primitive's waiter queue; handing it a wakeup would
 /// strand the live waiters behind it. Wake-up paths use this to skip
-/// dead entries.
+/// dead entries — both threads that already finished (`Done`) and
+/// threads with a cancellation pending, which may still be queued Ready
+/// but will only unwind when next scheduled, never consume the resource,
+/// and never pass the wakeup on.
 fn is_wakeable(vp: &Arc<Vp>, tid: Tid) -> bool {
-    matches!(
-        vp.thread_info(tid),
-        Some(info) if info.state != crate::ThreadState::Done
-    )
+    !vp.is_cancel_requested(tid)
+        && matches!(
+            vp.thread_info(tid),
+            Some(info) if info.state != crate::ThreadState::Done
+        )
 }
 
 /// Pop waiters until one is still wakeable and wake it.
@@ -183,6 +188,42 @@ impl UltCondvar {
         mutex.lock()
     }
 
+    /// Like [`UltCondvar::wait`], but give up after `timeout`. Returns
+    /// the re-acquired guard and whether the wait *timed out* (`true` =
+    /// no notification arrived in time). The thread polls by yielding —
+    /// there is no timer in the VP — so other ready threads keep running
+    /// while it waits.
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: UltMutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (UltMutexGuard<'a, T>, bool) {
+        let me = current_on(&self.vp);
+        let mutex = guard.mutex;
+        let deadline = Instant::now() + timeout;
+        self.waiters.lock().push_back(me);
+        drop(guard); // release the mutex
+        loop {
+            self.vp.yield_now();
+            // A notifier popped us from the queue. (Its unblock left a
+            // wake token, since we were Ready rather than Blocked; that
+            // is harmless — every block loop tolerates spurious wakes.)
+            if !self.waiters.lock().contains(&me) {
+                return (mutex.lock(), false);
+            }
+            if Instant::now() >= deadline {
+                // Remove ourselves so a future notification is not
+                // wasted on a waiter that already gave up.
+                let mut w = self.waiters.lock();
+                if let Some(i) = w.iter().position(|&t| t == me) {
+                    w.remove(i);
+                }
+                drop(w);
+                return (mutex.lock(), true);
+            }
+        }
+    }
+
     /// Wake one waiting thread, if any (skipping waiters that were
     /// cancelled while queued).
     pub fn notify_one(&self) {
@@ -294,6 +335,37 @@ impl UltSemaphore {
                 }
             }
             self.vp.block();
+        }
+    }
+
+    /// Acquire one permit, giving up after `timeout`. Returns whether a
+    /// permit was acquired. Polls by yielding, like
+    /// [`UltCondvar::wait_timeout`].
+    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
+        let me = current_on(&self.vp);
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut st = self.state.lock();
+                let queued = st.waiters.iter().position(|&t| t == me);
+                if st.permits > 0 {
+                    st.permits -= 1;
+                    if let Some(i) = queued {
+                        st.waiters.remove(i);
+                    }
+                    return true;
+                }
+                if Instant::now() >= deadline {
+                    if let Some(i) = queued {
+                        st.waiters.remove(i);
+                    }
+                    return false;
+                }
+                if queued.is_none() {
+                    st.waiters.push_back(me);
+                }
+            }
+            self.vp.yield_now();
         }
     }
 

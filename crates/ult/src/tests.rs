@@ -880,3 +880,124 @@ fn stats_spawned_exited_balance() {
     assert_eq!(s.spawned, 10);
     assert_eq!(s.exited, 10);
 }
+
+// ---------------------------------------------------------------------
+// Cancelled-waiter purging and timed waits
+// ---------------------------------------------------------------------
+
+#[test]
+fn notify_one_skips_waiter_cancelled_while_queued() {
+    // A queues on the condvar first, then B. A is cancelled but NOT yet
+    // rescheduled, so it is still Ready and still in the waiter queue
+    // when the notification fires. notify_one must hand the wakeup to
+    // the live waiter B rather than burn it on the doomed A.
+    let vp = vp();
+    let vp2 = Arc::clone(&vp);
+    vp.run(move |vp| {
+        let m = UltMutex::new(&vp2, (false, false)); // (flag_a, flag_b)
+        let cv = UltCondvar::new(&vp2);
+
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let a = vp.spawn(SpawnAttr::new().name("doomed"), move |_| {
+            let mut g = m2.lock();
+            while !g.0 {
+                g = cv2.wait(g); // flag_a never becomes true
+            }
+            unreachable!("doomed waiter must be cancelled");
+        });
+        vp.yield_now(); // A queues on the condvar
+
+        let (m3, cv3) = (Arc::clone(&m), Arc::clone(&cv));
+        let b = vp.spawn(SpawnAttr::new().name("live"), move |_| {
+            let mut g = m3.lock();
+            while !g.1 {
+                g = cv3.wait(g);
+            }
+            "woken"
+        });
+        vp.yield_now(); // B queues behind A
+
+        vp.cancel(a.tid()).unwrap();
+        // No yield here: A still has its stale queue entry.
+        m.lock().1 = true;
+        cv.notify_one(); // must skip A and wake B
+        assert_eq!(b.join().unwrap(), "woken");
+        assert!(matches!(a.join(), Err(JoinError::Cancelled)));
+    })
+    .unwrap();
+}
+
+#[test]
+fn condvar_wait_timeout_expires_without_notifier() {
+    let vp = vp();
+    let vp2 = Arc::clone(&vp);
+    let timed_out = vp
+        .run(move |vp| {
+            let m = UltMutex::new(&vp2, ());
+            let cv = UltCondvar::new(&vp2);
+            // Keep another thread runnable so the waiter's yield-poll
+            // has someone to interleave with.
+            let ticker = vp.spawn(SpawnAttr::new(), |vp| {
+                for _ in 0..50 {
+                    vp.yield_now();
+                }
+            });
+            let g = m.lock();
+            let (_g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(10));
+            drop(_g);
+            ticker.join().unwrap();
+            timed_out
+        })
+        .unwrap();
+    assert!(timed_out, "no notifier: the wait must time out");
+}
+
+#[test]
+fn condvar_wait_timeout_sees_prompt_notification() {
+    let vp = vp();
+    let vp2 = Arc::clone(&vp);
+    let timed_out = vp
+        .run(move |vp| {
+            let m = UltMutex::new(&vp2, false);
+            let cv = UltCondvar::new(&vp2);
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let waiter = vp.spawn(SpawnAttr::new(), move |_| {
+                let g = m2.lock();
+                let (g, timed_out) = cv2.wait_timeout(g, std::time::Duration::from_secs(30));
+                assert!(*g, "woke without the predicate set");
+                timed_out
+            });
+            vp.yield_now(); // waiter queues
+            *m.lock() = true;
+            cv.notify_one();
+            waiter.join().unwrap()
+        })
+        .unwrap();
+    assert!(!timed_out, "notified well inside the deadline");
+}
+
+#[test]
+fn semaphore_acquire_timeout_times_out_then_succeeds() {
+    let vp = vp();
+    let vp2 = Arc::clone(&vp);
+    vp.run(move |vp| {
+        let sem = UltSemaphore::new(&vp2, 0);
+        // Keep the run-queue warm while the acquirer polls.
+        let ticker = vp.spawn(SpawnAttr::new(), |vp| {
+            for _ in 0..50 {
+                vp.yield_now();
+            }
+        });
+        assert!(
+            !sem.acquire_timeout(std::time::Duration::from_millis(10)),
+            "no permits: must time out"
+        );
+        sem.release();
+        assert!(
+            sem.acquire_timeout(std::time::Duration::from_secs(30)),
+            "permit available: must acquire"
+        );
+        ticker.join().unwrap();
+    })
+    .unwrap();
+}

@@ -433,6 +433,18 @@ impl Vp {
         Ok(())
     }
 
+    /// Whether a thread has a pending (or already-honoured) cancellation
+    /// request. Sync primitives use this to skip doomed waiters: handing
+    /// a wakeup to a thread that will only unwind would strand the live
+    /// waiters queued behind it. `false` for unknown/reaped tids.
+    pub fn is_cancel_requested(&self, tid: Tid) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .tcbs
+            .get(&tid)
+            .is_some_and(|tcb| tcb.cancel_requested.load(Ordering::Relaxed))
+    }
+
     /// Explicit cancellation point for long computations.
     pub fn testcancel(self: &Arc<Vp>) {
         let me = self.current_tcb();

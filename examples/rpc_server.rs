@@ -8,25 +8,48 @@
 //!
 //! Run with: `cargo run --example rpc_server`
 //!
+//! Set `CHANT_FAULTS=1` to run the same program over a lossy network
+//! (1% drop + 1% duplication through the seeded fault shim) with RSR
+//! retry/backoff enabled; `CHANT_FAULT_DROP` and `CHANT_FAULT_SEED`
+//! override the drop probability and the shim seed. The run ends with
+//! the shim's tally and the retry counters from the cluster report.
+//!
 //! With `--features trace` the run is captured by the chant-obs tracer
 //! and the server threads' RSR serve/done events are summarized at the
 //! end (request count per function id, service-time histogram), with
 //! the full timeline exported to `bench_results/rpc_server_trace.json`.
 
 use bytes::Bytes;
-use chant::chant::{ChantCluster, ChantError, PollingPolicy};
+use chant::chant::{ChantCluster, ChantError, FaultConfig, PollingPolicy, RetryPolicy};
 use chant_comm::Address;
 
 /// Custom RSR function id (user ids start at 1000).
 const FN_WORD_COUNT: u32 = 1000;
 
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
     // Install before the cluster exists: lanes register at construction.
     #[cfg(feature = "trace")]
     let tracing = chant_obs::tracer::install();
-    let cluster = ChantCluster::builder()
+    let faulty = std::env::var("CHANT_FAULTS").is_ok_and(|v| v != "0");
+    let mut builder = ChantCluster::builder()
         .pes(2)
-        .policy(PollingPolicy::SchedulerPollsPs)
+        .policy(PollingPolicy::SchedulerPollsPs);
+    if faulty {
+        let drop_p = env_parse("CHANT_FAULT_DROP", 0.01);
+        let seed = env_parse("CHANT_FAULT_SEED", 42u64);
+        println!("fault shim ON: seed {seed}, drop {drop_p}, dup 0.01\n");
+        builder = builder
+            .faults(FaultConfig::new(seed).drop_p(drop_p).dup_p(0.01))
+            .rsr_retry(RetryPolicy::default());
+    }
+    let cluster = builder
         .rsr_handler(FN_WORD_COUNT, |_node, req| {
             let text = String::from_utf8(req.args.to_vec())
                 .map_err(|e| ChantError::Remote(e.to_string()))?;
@@ -40,7 +63,7 @@ fn main() {
         })
         .build();
 
-    cluster.run(|node| {
+    let report = cluster.run(|node| {
         let remote = Address::new(1, 0);
         if node.pe() != 0 {
             return; // PE 1 only serves
@@ -85,6 +108,17 @@ fn main() {
     });
 
     println!("\nall remote service requests completed");
+    if let Some(f) = &report.faults {
+        println!(
+            "shim tally: {} dropped, {} duplicated, {} passed clean",
+            f.dropped, f.duplicated, f.passed
+        );
+        println!(
+            "rsr recovery: {} retransmissions, {} duplicates suppressed",
+            report.total_rsr_retries(),
+            report.total_rsr_dups_suppressed()
+        );
+    }
 
     #[cfg(feature = "trace")]
     if tracing {

@@ -116,13 +116,7 @@ proptest! {
                     );
                     // Model: match the first pending recv that accepts it.
                     if let Some(pos) = model_recvs.iter().position(|s| matches(*s, tag)) {
-                        let spec = model_recvs.remove(pos).unwrap();
-                        let _ = spec;
-                        // Record expected delivery against that handle by
-                        // pushing into its slot below (handled by order).
-                        model_msgs.push_back((tag, body)); // consumed marker
-                        model_msgs.pop_back();
-                        handles.push((pos, tag, body));
+                        model_recvs.remove(pos);
                     } else {
                         model_msgs.push_back((tag, body));
                     }
@@ -142,7 +136,12 @@ proptest! {
                     } else {
                         prop_assert!(!h.is_complete(), "model says pending");
                         model_recvs.push_back(tag);
-                        drop(h); // posted receives left pending are fine
+                        // Keep the handle alive: dropping it would retire
+                        // the posted receive (abandoned receives no longer
+                        // linger — see `dropped_handle_retires_its_posted_
+                        // receive`), taking it out of the matching order
+                        // this model tracks.
+                        handles.push(h);
                     }
                 }
             }
