@@ -1,0 +1,47 @@
+//! Transport latency probe: the cost of real sockets, measured.
+//!
+//! Runs the same two-PE ping-pong on the in-process backend and on the
+//! TCP loopback backend and reports the mean round-trip time of each —
+//! the "expected latency delta" quoted in EXPERIMENTS.md §cross-process.
+//!
+//! Run with: `cargo run --release -p chant-bench --example xport_lat`
+
+use chant_core::{ChantCluster, ChanterId, TransportConfig};
+use std::time::Instant;
+
+/// Mean round-trip nanoseconds over `n` ping-pongs on `t`.
+fn rtt(t: TransportConfig, n: u32) -> f64 {
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(t)
+        .server(false)
+        .build();
+    let start = Instant::now();
+    cluster.run(move |node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        for i in 0..n {
+            if me.pe == 0 {
+                node.send(peer, 1, &i.to_le_bytes()).unwrap();
+                node.recv_tag(2).unwrap();
+            } else {
+                node.recv_tag(1).unwrap();
+                node.send(peer, 2, &i.to_le_bytes()).unwrap();
+            }
+        }
+    });
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let n = 5000;
+    let _ = rtt(TransportConfig::InProcess, 500); // warmup
+    let inproc = rtt(TransportConfig::InProcess, n);
+    let tcp = rtt(TransportConfig::tcp_loopback(), n);
+    println!(
+        "inproc rtt: {:.1} us, tcp-loopback rtt: {:.1} us, ratio {:.1}x",
+        inproc / 1000.0,
+        tcp / 1000.0,
+        tcp / inproc
+    );
+}

@@ -1,0 +1,123 @@
+//! Cross-process integration: a 4-node TCP cluster of real OS
+//! processes running the lossy robustness workload.
+//!
+//! This is the acceptance test for the transport tentpole: `cargo test`
+//! spawns four copies of the `xproc_node` helper binary, hands them a
+//! rank and a shared peer list over the environment (the same bootstrap
+//! the examples use), and asserts that every process finishes the
+//! 1000-op exactly-once workload (4 × 250 counted RSRs through a 1%
+//! drop + 1% dup shim), joins the termination barrier cleanly, and
+//! exits having leaked zero socket file descriptors.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const NODES: usize = 4;
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Reserve `n` distinct loopback ports: bind them all concurrently,
+/// record the assignments, then release. A raced port is possible but
+/// vanishingly rare; the caller retries once.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+fn spawn_cluster(ports: &[u16]) -> Vec<Child> {
+    let peers = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let seed = std::env::var("CHANT_FAULT_SEED").unwrap_or_else(|_| "42".into());
+    (0..NODES)
+        .map(|rank| {
+            Command::new(env!("CARGO_BIN_EXE_xproc_node"))
+                .env("CHANT_TRANSPORT", "tcp")
+                .env("CHANT_RANK", rank.to_string())
+                .env("CHANT_PEERS", &peers)
+                .env("CHANT_FAULT_SEED", &seed)
+                .env("CHANT_XPROC_OPS", "250")
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn xproc_node")
+        })
+        .collect()
+}
+
+/// Wait for every child with a shared deadline; on timeout, kill the
+/// stragglers so the test fails instead of hanging.
+fn join_all(mut children: Vec<Child>) -> Vec<(bool, String, String)> {
+    let deadline = Instant::now() + TIMEOUT;
+    let mut done: Vec<Option<bool>> = vec![None; children.len()];
+    while done.iter().any(Option::is_none) {
+        for (i, child) in children.iter_mut().enumerate() {
+            if done[i].is_none() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    done[i] = Some(status.success());
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            for child in children.iter_mut() {
+                let _ = child.kill();
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    children
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut child)| {
+            let _ = child.wait();
+            let mut out = String::new();
+            let mut err = String::new();
+            if let Some(mut s) = child.stdout.take() {
+                let _ = s.read_to_string(&mut out);
+            }
+            if let Some(mut s) = child.stderr.take() {
+                let _ = s.read_to_string(&mut err);
+            }
+            (done[i].unwrap_or(false), out, err)
+        })
+        .collect()
+}
+
+fn run_once() -> Result<(), String> {
+    let ports = free_ports(NODES);
+    let children = spawn_cluster(&ports);
+    let results = join_all(children);
+    for (rank, (ok, out, err)) in results.iter().enumerate() {
+        if !ok {
+            return Err(format!(
+                "rank {rank} failed.\n--- stdout ---\n{out}\n--- stderr ---\n{err}"
+            ));
+        }
+        let marker = format!("XPROC-OK rank={rank}");
+        if !out.contains(&marker) {
+            return Err(format!(
+                "rank {rank} exited 0 without '{marker}'.\n--- stdout ---\n{out}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn four_process_tcp_cluster_runs_lossy_workload_exactly_once() {
+    // One retry covers the (rare) case of a reserved port being raced
+    // away between release and the child's bind.
+    if let Err(first) = run_once() {
+        eprintln!("first attempt failed, retrying once:\n{first}");
+        run_once().expect("cross-process cluster failed twice");
+    }
+}

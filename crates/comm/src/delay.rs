@@ -155,7 +155,10 @@ impl DelayLine {
                 }
             };
             match world.upgrade() {
-                Some(w) => w.endpoint(entry.header.dst).deliver(entry.header, entry.body),
+                // Through the transport, not straight into the endpoint:
+                // on a TCP world a delayed message must still cross the
+                // socket like every other message.
+                Some(w) => w.transport_send(entry.header, entry.body),
                 None => return, // world is gone; stop delivering
             }
         }

@@ -418,9 +418,9 @@ impl FaultInjector {
                 }
             };
             match world.upgrade() {
-                Some(w) => w
-                    .endpoint(entry.header.dst)
-                    .deliver(entry.header, entry.body),
+                // Through the transport: a duplicated or delayed copy on
+                // a TCP world must cross the socket like the original.
+                Some(w) => w.transport_send(entry.header, entry.body),
                 None => return,
             }
         }

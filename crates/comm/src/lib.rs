@@ -54,6 +54,7 @@ mod obs;
 mod profile;
 mod stats;
 mod testany;
+mod transport;
 mod world;
 
 pub use delay::LatencyModel;
@@ -65,6 +66,10 @@ pub use testany::{testany, CompletionSet};
 pub use header::{kind, Address, CtxMatch, Header, RecvSpec, ANY_TAG};
 pub use profile::CommProfile;
 pub use stats::{CommStats, CommStatsSnapshot};
+pub use transport::{
+    decode_frame, encode_frame, DeliverError, DeliverySink, FrameError, TcpOptions, Transport,
+    TransportConfig, TransportStatsSnapshot, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+};
 pub use world::CommWorld;
 
 #[cfg(test)]

@@ -1,0 +1,303 @@
+//! The on-the-wire frame codec shared by all byte-stream transports.
+//!
+//! The paper's delivery argument (§3.1) hinges on the destination
+//! thread's name travelling in the message **header**, not the body, so
+//! the receiving side can route without touching user bytes. This codec
+//! makes that layout an actual wire contract: every frame starts with a
+//! fixed-size header carrying the full `(pe, process)` source and
+//! destination, the tag, the context word (where the thread id rides in
+//! `Communicator` naming), the kind, and the body length — followed by
+//! the opaque body.
+//!
+//! Layout (everything little-endian):
+//!
+//! ```text
+//! u32  frame length  (bytes after this field: FRAME_HEADER_LEN + body)
+//! [u8;4] magic "CHT1" (format + version in one)
+//! u8   kind
+//! i32  tag           (>= 0; wildcards are receive-side only)
+//! u64  ctx
+//! u32  src.pe   u32 src.process
+//! u32  dst.pe   u32 dst.process
+//! u32  body length   (must equal frame length - FRAME_HEADER_LEN)
+//! [..] body
+//! ```
+//!
+//! Decoding is total: malformed input yields a [`FrameError`], never a
+//! panic — the same rule PR 3 imposed on malformed RSR envelopes. A
+//! decoder error on a live connection is unrecoverable (the stream has
+//! lost framing), so transports count it and drop the connection.
+
+use bytes::Bytes;
+
+use crate::header::{Address, Header};
+
+/// Magic + version tag opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"CHT1";
+
+/// Fixed bytes between the length prefix and the body.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 16 + 4;
+
+/// Hard ceiling on one frame's post-prefix length; anything larger is
+/// treated as framing corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The magic/version bytes were wrong.
+    BadMagic([u8; 4]),
+    /// The buffer ended before the fixed header (or declared body) did.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The declared frame length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The tag was negative (wildcards are receive-side only).
+    BadTag(i32),
+    /// The header's body length disagrees with the frame length.
+    LengthMismatch {
+        /// Body length declared in the header.
+        declared: u32,
+        /// Body bytes actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            FrameError::BadTag(t) => write!(f, "negative tag {t} on the wire"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(f, "body length mismatch: header says {declared}, frame has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one message as a length-prefixed frame ready for a single
+/// stream write (prefix included).
+pub fn encode_frame(header: &Header, body: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(header.len as usize, body.len(), "header.len out of sync");
+    let frame_len = (FRAME_HEADER_LEN + body.len()) as u32;
+    let mut out = Vec::with_capacity(4 + frame_len as usize);
+    out.extend_from_slice(&frame_len.to_le_bytes());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(header.kind);
+    out.extend_from_slice(&header.tag.to_le_bytes());
+    out.extend_from_slice(&header.ctx.to_le_bytes());
+    out.extend_from_slice(&header.src.pe.to_le_bytes());
+    out.extend_from_slice(&header.src.process.to_le_bytes());
+    out.extend_from_slice(&header.dst.pe.to_le_bytes());
+    out.extend_from_slice(&header.dst.process.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Decode the post-prefix payload of one frame.
+///
+/// Total over arbitrary input: every malformation maps to a
+/// [`FrameError`]; nothing panics.
+pub fn decode_frame(payload: &[u8]) -> Result<(Header, Bytes), FrameError> {
+    if payload.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated {
+            need: FRAME_HEADER_LEN,
+            have: payload.len(),
+        });
+    }
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    if payload[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(
+            payload[0..4].try_into().expect("4 bytes"),
+        ));
+    }
+    let kind = payload[4];
+    let tag = i32::from_le_bytes(payload[5..9].try_into().expect("4 bytes"));
+    if tag < 0 {
+        return Err(FrameError::BadTag(tag));
+    }
+    let ctx = u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes"));
+    let src = Address::new(read_u32(payload, 17), read_u32(payload, 21));
+    let dst = Address::new(read_u32(payload, 25), read_u32(payload, 29));
+    let len = read_u32(payload, 33);
+    let body = &payload[FRAME_HEADER_LEN..];
+    if len as usize != body.len() {
+        return Err(FrameError::LengthMismatch {
+            declared: len,
+            actual: body.len(),
+        });
+    }
+    Ok((
+        Header {
+            src,
+            dst,
+            tag,
+            ctx,
+            kind,
+            len,
+        },
+        Bytes::from(body.to_vec()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn header(tag: i32, ctx: u64, kind: u8, len: u32) -> Header {
+        Header {
+            src: Address::new(1, 2),
+            dst: Address::new(3, 4),
+            tag,
+            ctx,
+            kind,
+            len,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_header_and_body() {
+        let h = header(7, 0xDEAD_BEEF_0123_4567, 1, 5);
+        let frame = encode_frame(&h, b"hello");
+        // Strip the 4-byte length prefix, as a stream reader would.
+        let declared = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(declared, frame.len() - 4);
+        let (h2, body) = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(&body[..], b"hello");
+    }
+
+    #[test]
+    fn empty_body_roundtrips() {
+        let h = header(0, 0, 0, 0);
+        let frame = encode_frame(&h, b"");
+        let (h2, body) = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(h2, h);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let h = header(1, 0, 0, 0);
+        let mut frame = encode_frame(&h, b"");
+        frame[4] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&frame[4..]),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn negative_tag_is_rejected() {
+        // Hand-build a frame with tag = -1 (ANY_TAG must never travel).
+        let h = header(0, 0, 0, 0);
+        let mut frame = encode_frame(&h, b"");
+        frame[9..13].copy_from_slice(&(-1i32).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame[4..]),
+            Err(FrameError::BadTag(-1))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let h = header(3, 9, 2, 4);
+        let frame = encode_frame(&h, b"body");
+        for cut in 0..frame.len() - 4 {
+            let r = decode_frame(&frame[4..4 + cut]);
+            assert!(r.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let h = header(3, 9, 2, 4);
+        let mut frame = encode_frame(&h, b"body");
+        // Claim 3 body bytes while 4 are present.
+        frame[37..41].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame[4..]),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any header/body pair survives the codec bit-exactly.
+        #[test]
+        fn prop_roundtrip(
+            tag in 0i32..i32::MAX,
+            ctx in any::<u64>(),
+            kind in any::<u8>(),
+            src_pe in any::<u32>(), src_pr in any::<u32>(),
+            dst_pe in any::<u32>(), dst_pr in any::<u32>(),
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let h = Header {
+                src: Address::new(src_pe, src_pr),
+                dst: Address::new(dst_pe, dst_pr),
+                tag, ctx, kind,
+                len: body.len() as u32,
+            };
+            let frame = encode_frame(&h, &body);
+            let (h2, b2) = decode_frame(&frame[4..]).unwrap();
+            prop_assert_eq!(h2, h);
+            prop_assert_eq!(&b2[..], &body[..]);
+        }
+
+        /// Decoding never panics on arbitrary bytes.
+        #[test]
+        fn prop_decode_is_total(raw in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = decode_frame(&raw);
+        }
+
+        /// A single flipped byte either fails to decode or decodes to a
+        /// *different* but well-formed message — never a panic, and
+        /// never the original message with a corrupted field accepted
+        /// silently as identical.
+        #[test]
+        fn prop_corruption_is_detected_or_contained(
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+            at in 0usize..64,
+            flip in 1u8..=255,
+        ) {
+            let h = Header {
+                src: Address::new(0, 1),
+                dst: Address::new(2, 3),
+                tag: 17,
+                ctx: 0xABCD,
+                kind: 1,
+                len: body.len() as u32,
+            };
+            let mut frame = encode_frame(&h, &body);
+            let at = 4 + (at % (frame.len() - 4)); // corrupt past the prefix
+            frame[at] ^= flip;
+            match decode_frame(&frame[4..]) {
+                Err(_) => {} // detected
+                Ok((h2, b2)) => {
+                    // Contained: the corruption must be visible.
+                    prop_assert!(h2 != h || b2[..] != body[..]);
+                }
+            }
+        }
+    }
+}

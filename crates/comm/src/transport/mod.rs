@@ -1,0 +1,300 @@
+//! Pluggable transports under the matching engine.
+//!
+//! [`crate::CommWorld`]'s routing path is a thin, swappable seam: after
+//! the fault shim and the latency line have had their say, a message is
+//! handed to the world's [`Transport`], which is responsible for getting
+//! the framed `(header, body)` pair to the destination endpoint's
+//! matching tables (via [`DeliverySink::deliver`]). Everything above the
+//! seam — matching, polling policies, deadlines, RSR retry/dedup, fault
+//! injection, observability — is transport-agnostic and must behave
+//! identically on every backend; `tests/transport_conformance.rs`
+//! enforces exactly that, with the in-process backend as the oracle.
+//!
+//! Two backends ship:
+//!
+//! * **in-process** ([`TransportConfig::InProcess`], the default): the
+//!   original synchronous delivery into the destination endpoint. Zero
+//!   new cost; the paper's table reproductions run on this path.
+//! * **TCP** ([`TransportConfig::Tcp`]): length-prefixed frames
+//!   ([`encode_frame`]) over TCP sockets, with a lazy-connecting
+//!   per-peer connection manager and a drain thread per accepted
+//!   connection. In *loopback* mode all endpoints stay in one OS
+//!   process and traffic makes a real kernel round trip; in
+//!   *multi-process* mode (a rank and a peer list, usually from
+//!   [`TransportConfig::from_env`]) each OS process hosts one PE's
+//!   endpoints and a chant message genuinely crosses address spaces —
+//!   the paper's "threads that talk to threads in other address
+//!   spaces", live.
+
+mod frame;
+mod tcp;
+
+pub use frame::{
+    decode_frame, encode_frame, FrameError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+};
+pub use tcp::TcpOptions;
+
+pub(crate) use tcp::TcpTransport;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+
+use crate::header::Header;
+use crate::world::WorldInner;
+
+/// A message-moving backend under the matching engine.
+///
+/// Implementations receive fully-formed headers (the `(pe, process,
+/// thread-bearing ctx/tag)` signature of §3.1) and opaque bodies, and
+/// must eventually hand every non-lost message to the destination
+/// endpoint via the [`DeliverySink`] they were constructed with.
+/// Ordering contract: two messages sent on the same `(src, dst)` link
+/// must be delivered in send order (per-sender FIFO, the NX guarantee
+/// the matching tables rely on). Loss is permitted only for transports
+/// that document it (the upper layers' retry/dedup machinery recovers).
+pub trait Transport: Send + Sync {
+    /// Short stable name for reports and traces (`"inproc"`, `"tcp"`).
+    fn name(&self) -> &'static str;
+
+    /// Move one message toward its destination. May block briefly for
+    /// backpressure; must not block indefinitely.
+    fn send(&self, header: Header, body: Bytes);
+
+    /// What this transport has done so far.
+    fn stats(&self) -> TransportStatsSnapshot;
+
+    /// Tear down background threads and close any handles. Called once
+    /// from world teardown; must be idempotent.
+    fn shutdown(&self);
+}
+
+/// Where a transport hands arriving messages back into the runtime: the
+/// destination endpoint's matching tables, reached through a weak
+/// world reference so a transport thread can never keep a dead world
+/// alive.
+#[derive(Clone)]
+pub struct DeliverySink {
+    world: Weak<WorldInner>,
+}
+
+/// Why a [`DeliverySink::deliver`] did not deliver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliverError {
+    /// The world was torn down; the message is dropped (same rule as
+    /// the latency line at shutdown).
+    WorldGone,
+    /// The destination endpoint is not hosted by this process (a
+    /// misrouted or corrupted frame in multi-process mode).
+    NotHosted,
+}
+
+impl DeliverySink {
+    pub(crate) fn new(world: Weak<WorldInner>) -> DeliverySink {
+        DeliverySink { world }
+    }
+
+    /// Deliver into the destination endpoint's matching tables.
+    pub fn deliver(&self, header: Header, body: Bytes) -> Result<(), DeliverError> {
+        let Some(w) = self.world.upgrade() else {
+            return Err(DeliverError::WorldGone);
+        };
+        if !w.hosts(header.dst) {
+            return Err(DeliverError::NotHosted);
+        }
+        w.endpoint(header.dst).deliver(header, body);
+        Ok(())
+    }
+}
+
+/// Always-on transport tallies (relaxed atomics; same monotone-counter
+/// soundness argument as [`crate::CommStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct TransportStats {
+    pub frames_sent: AtomicU64,
+    pub frames_received: AtomicU64,
+    pub frame_bytes_sent: AtomicU64,
+    pub frame_bytes_received: AtomicU64,
+    pub connects: AtomicU64,
+    pub accepts: AtomicU64,
+    pub reconnects: AtomicU64,
+    pub send_failures: AtomicU64,
+    pub malformed_frames: AtomicU64,
+    pub misrouted: AtomicU64,
+}
+
+impl TransportStats {
+    #[inline]
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TransportStatsSnapshot {
+        TransportStatsSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frame_bytes_sent: self.frame_bytes_sent.load(Ordering::Relaxed),
+            frame_bytes_received: self.frame_bytes_received.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            send_failures: self.send_failures.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            misrouted: self.misrouted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a transport's counters. In-process worlds
+/// report frames but keep every socket-specific counter at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStatsSnapshot {
+    /// Frames handed to the wire (or delivered directly, in-process).
+    pub frames_sent: u64,
+    /// Frames received and delivered into endpoints.
+    pub frames_received: u64,
+    /// Frame bytes written (headers + bodies + prefixes).
+    pub frame_bytes_sent: u64,
+    /// Frame bytes read.
+    pub frame_bytes_received: u64,
+    /// Outbound connections established.
+    pub connects: u64,
+    /// Inbound connections accepted.
+    pub accepts: u64,
+    /// Outbound connections re-established after a write failure.
+    pub reconnects: u64,
+    /// Messages dropped because the peer stayed unreachable.
+    pub send_failures: u64,
+    /// Frames rejected by the codec (connection dropped afterwards).
+    pub malformed_frames: u64,
+    /// Well-formed frames addressed to an endpoint this process does
+    /// not host.
+    pub misrouted: u64,
+}
+
+/// Which transport a world routes through, and how it is configured.
+#[derive(Clone, Debug, Default)]
+pub enum TransportConfig {
+    /// Synchronous in-process delivery (the default; the oracle backend
+    /// for the conformance suite).
+    #[default]
+    InProcess,
+    /// Length-prefixed frames over TCP sockets (see [`TcpOptions`]).
+    Tcp(TcpOptions),
+}
+
+impl TransportConfig {
+    /// A single-process TCP world: every endpoint lives here, but every
+    /// message makes a real kernel round trip through a loopback
+    /// socket. This is the configuration the conformance suite and the
+    /// fault-seed matrix run against.
+    pub fn tcp_loopback() -> TransportConfig {
+        TransportConfig::Tcp(TcpOptions::default())
+    }
+
+    /// Read the transport from the environment — the rank/port
+    /// bootstrap shared by examples and the cross-process tests:
+    ///
+    /// * `CHANT_TRANSPORT` — `tcp` selects TCP; anything else (or
+    ///   unset) selects in-process.
+    /// * `CHANT_RANK` — this OS process's PE index (multi-process mode;
+    ///   omit for single-process loopback).
+    /// * `CHANT_PEERS` — comma-separated `host:port` listen addresses,
+    ///   one per PE in rank order (required when `CHANT_RANK` is set).
+    pub fn from_env() -> TransportConfig {
+        match std::env::var("CHANT_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => {
+                let rank = std::env::var("CHANT_RANK").ok().and_then(|s| s.parse().ok());
+                let peers = std::env::var("CHANT_PEERS")
+                    .map(|s| {
+                        s.split(',')
+                            .map(|p| p.trim().to_string())
+                            .filter(|p| !p.is_empty())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                TransportConfig::Tcp(TcpOptions {
+                    rank,
+                    peers,
+                    ..TcpOptions::default()
+                })
+            }
+            _ => TransportConfig::InProcess,
+        }
+    }
+
+    /// The contiguous PE range this process hosts under this config:
+    /// one PE in multi-process mode, all of them otherwise.
+    pub fn hosted_pes(&self, pes: u32) -> std::ops::Range<u32> {
+        match self {
+            TransportConfig::Tcp(TcpOptions { rank: Some(r), .. }) => {
+                assert!(
+                    *r < pes,
+                    "CHANT_RANK {r} outside the world ({pes} PEs)"
+                );
+                *r..*r + 1
+            }
+            _ => 0..pes,
+        }
+    }
+}
+
+/// The original backend: deliver synchronously into the destination
+/// endpoint, on the sender's thread, before `send` returns. This is the
+/// exact pre-trait code path — the paper's table reproductions and
+/// every existing test run on it unchanged.
+pub(crate) struct InProcessTransport {
+    sink: DeliverySink,
+    stats: Arc<TransportStats>,
+}
+
+impl InProcessTransport {
+    pub fn new(sink: DeliverySink) -> InProcessTransport {
+        InProcessTransport {
+            sink,
+            stats: Arc::new(TransportStats::default()),
+        }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn send(&self, header: Header, body: Bytes) {
+        TransportStats::bump(&self.stats.frames_sent);
+        if self.sink.deliver(header, body).is_ok() {
+            TransportStats::bump(&self.stats.frames_received);
+        }
+    }
+
+    fn stats(&self) -> TransportStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn shutdown(&self) {}
+}
+
+/// Construct the configured transport for a world being built. Must be
+/// called from inside the world's `Arc::new_cyclic` so background
+/// threads hold only weak references.
+pub(crate) fn build_transport(
+    config: &TransportConfig,
+    pes: u32,
+    world: Weak<WorldInner>,
+) -> Arc<dyn Transport> {
+    let sink = DeliverySink::new(world);
+    match config {
+        TransportConfig::InProcess => Arc::new(InProcessTransport::new(sink)),
+        TransportConfig::Tcp(opts) => TcpTransport::start(opts.clone(), pes, sink)
+            .unwrap_or_else(|e| panic!("failed to start TCP transport: {e}")),
+    }
+}
+

@@ -1,13 +1,20 @@
-//! The communication world: a process group of endpoints with an
-//! in-memory transport.
+//! The communication world: a process group of endpoints over a
+//! pluggable transport.
 //!
 //! This plays the role of NX on the Paragon (or an MPI communicator's
 //! process group): `pes × procs_per_pe` addressable endpoints with
 //! reliable, per-sender-FIFO delivery. Latency is not modelled here —
 //! semantic fidelity is this crate's job; the Paragon *cost* model lives
 //! in `chant-sim`.
+//!
+//! The final hop of [`WorldInner::route`] — getting a framed message to
+//! the destination endpoint's matching tables — goes through the
+//! world's [`Transport`]: synchronous in-process delivery by default,
+//! or TCP sockets (possibly to other OS processes) when built with
+//! [`TransportConfig::Tcp`]. Everything upstream of that hop (fault
+//! shim, latency line, matching, statistics) is transport-agnostic.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 
@@ -16,19 +23,28 @@ use crate::endpoint::Endpoint;
 use crate::fault::{FaultAction, FaultConfig, FaultInjector, FaultStatsSnapshot};
 use crate::header::{Address, Header};
 use crate::stats::CommStatsSnapshot;
+use crate::transport::{build_transport, Transport, TransportConfig, TransportStatsSnapshot};
 
 pub(crate) struct WorldInner {
     pes: u32,
     procs_per_pe: u32,
+    /// PEs whose endpoints this OS process hosts (all of them except in
+    /// multi-process TCP mode, where the process boundary is the PE).
+    hosted: std::ops::Range<u32>,
     endpoints: Vec<Arc<Endpoint>>,
     delay: Option<Arc<DelayLine>>,
     faults: Option<Arc<FaultInjector>>,
+    /// Installed immediately after `Arc::new_cyclic` returns, so the
+    /// transport's background threads can never observe (or deliver
+    /// into) a half-constructed world. Always populated by the time any
+    /// message is routed.
+    transport: OnceLock<Arc<dyn Transport>>,
 }
 
 impl WorldInner {
     /// Route a message: through the fault shim when one is installed,
     /// then through the delay line when a latency model is installed,
-    /// otherwise deliver synchronously.
+    /// otherwise straight to the transport.
     pub(crate) fn route(&self, header: Header, body: Bytes) {
         if let Some(shim) = &self.faults {
             match shim.apply(&header, &body) {
@@ -41,18 +57,44 @@ impl WorldInner {
         }
         match &self.delay {
             Some(line) => line.submit(header, body),
-            None => self.endpoint(header.dst).deliver(header, body),
+            None => self.transport().send(header, body),
         }
+    }
+
+    /// The post-shim, post-delay hop: hand a message to the transport.
+    /// Used by the fault shim's and latency line's background
+    /// deliverers, so held/delayed copies cross the same wire as
+    /// everything else.
+    pub(crate) fn transport_send(&self, header: Header, body: Bytes) {
+        self.transport().send(header, body);
+    }
+
+    pub(crate) fn transport(&self) -> &Arc<dyn Transport> {
+        self.transport
+            .get()
+            .expect("transport installed during world construction")
+    }
+
+    /// Does this OS process host the endpoint at `addr`? False for
+    /// out-of-bounds addresses (a corrupted frame must not panic the
+    /// drain thread) and for PEs hosted by other processes.
+    pub(crate) fn hosts(&self, addr: Address) -> bool {
+        addr.pe < self.pes && addr.process < self.procs_per_pe && self.hosted.contains(&addr.pe)
     }
 }
 
 impl Drop for WorldInner {
     fn drop(&mut self) {
+        // Upstream stages first, so nothing new reaches the transport
+        // while it tears down.
+        if let Some(shim) = &self.faults {
+            shim.shutdown();
+        }
         if let Some(line) = &self.delay {
             line.shutdown();
         }
-        if let Some(shim) = &self.faults {
-            shim.shutdown();
+        if let Some(t) = self.transport.get() {
+            t.shutdown();
         }
     }
 }
@@ -84,7 +126,7 @@ impl CommWorld {
     /// Create a world of `pes` processing elements with `procs_per_pe`
     /// processes each.
     pub fn new(pes: u32, procs_per_pe: u32) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, None, None)
+        CommWorld::build(pes, procs_per_pe, None, None, TransportConfig::InProcess)
     }
 
     /// Create a world whose transport imposes wall-clock flight time on
@@ -92,26 +134,58 @@ impl CommWorld {
     /// This makes the live runtime exhibit the latency the paper's
     /// threads exist to hide.
     pub fn with_latency(pes: u32, procs_per_pe: u32, model: LatencyModel) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, Some(model), None)
+        CommWorld::build(
+            pes,
+            procs_per_pe,
+            Some(model),
+            None,
+            TransportConfig::InProcess,
+        )
     }
 
     /// Create a world with the seeded fault shim installed (see
     /// [`FaultConfig`]): deliveries may be dropped, duplicated, delayed,
     /// or reordered per link, deterministically for a given seed.
     pub fn with_faults(pes: u32, procs_per_pe: u32, config: FaultConfig) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, None, Some(config))
+        CommWorld::build(
+            pes,
+            procs_per_pe,
+            None,
+            Some(config),
+            TransportConfig::InProcess,
+        )
+    }
+
+    /// Create a world routed through the given transport backend (see
+    /// [`TransportConfig`]), with no latency model or fault shim.
+    pub fn with_transport(pes: u32, procs_per_pe: u32, transport: TransportConfig) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, None, None, transport)
     }
 
     /// Create a world with any combination of a latency model and the
     /// fault shim (the general form of [`CommWorld::with_latency`] /
-    /// [`CommWorld::with_faults`]).
+    /// [`CommWorld::with_faults`]), on the in-process transport.
     pub fn with_options(
         pes: u32,
         procs_per_pe: u32,
         latency: Option<LatencyModel>,
         faults: Option<FaultConfig>,
     ) -> CommWorld {
-        CommWorld::build(pes, procs_per_pe, latency, faults)
+        CommWorld::build(pes, procs_per_pe, latency, faults, TransportConfig::InProcess)
+    }
+
+    /// The fully general constructor: latency model, fault shim, and
+    /// transport backend all chosen independently. The shim and the
+    /// delay line sit *above* the transport, so faults injected on a
+    /// TCP world genuinely perturb socket traffic.
+    pub fn with_config(
+        pes: u32,
+        procs_per_pe: u32,
+        latency: Option<LatencyModel>,
+        faults: Option<FaultConfig>,
+        transport: TransportConfig,
+    ) -> CommWorld {
+        CommWorld::build(pes, procs_per_pe, latency, faults, transport)
     }
 
     pub(crate) fn build(
@@ -119,8 +193,10 @@ impl CommWorld {
         procs_per_pe: u32,
         model: Option<LatencyModel>,
         faults: Option<FaultConfig>,
+        transport: TransportConfig,
     ) -> CommWorld {
         assert!(pes > 0 && procs_per_pe > 0, "world must be non-empty");
+        let hosted = transport.hosted_pes(pes);
         let inner = Arc::new_cyclic(|weak| {
             let mut endpoints = Vec::with_capacity((pes * procs_per_pe) as usize);
             for pe in 0..pes {
@@ -134,11 +210,20 @@ impl CommWorld {
             WorldInner {
                 pes,
                 procs_per_pe,
+                hosted,
                 endpoints,
                 delay: model.map(|m| DelayLine::start(m, weak.clone())),
                 faults: faults.map(|c| FaultInjector::start(c, weak.clone())),
+                transport: OnceLock::new(),
             }
         });
+        // Install the transport only now, on the completed world: a TCP
+        // listener starts accepting the moment it exists, and its drain
+        // threads must always be able to upgrade their weak reference.
+        let t = build_transport(&transport, pes, Arc::downgrade(&inner));
+        if inner.transport.set(t).is_err() {
+            unreachable!("transport installed twice");
+        }
         CommWorld { inner }
     }
 
@@ -156,6 +241,25 @@ impl CommWorld {
     /// installed).
     pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
         self.inner.faults.as_ref().map(|f| f.stats().snapshot())
+    }
+
+    /// The name of the transport backend this world routes through
+    /// (`"inproc"` or `"tcp"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.inner.transport().name()
+    }
+
+    /// What the transport has done so far (frames, bytes, connections,
+    /// failures — see [`TransportStatsSnapshot`]).
+    pub fn transport_stats(&self) -> TransportStatsSnapshot {
+        self.inner.transport().stats()
+    }
+
+    /// The contiguous range of PEs whose endpoints live in this OS
+    /// process: all of them, except in multi-process TCP mode where
+    /// each process hosts exactly one PE.
+    pub fn hosted_pes(&self) -> std::ops::Range<u32> {
+        self.inner.hosted.clone()
     }
 
     /// A flat world: `n` PEs with one process each.
@@ -226,6 +330,7 @@ impl std::fmt::Debug for CommWorld {
         f.debug_struct("CommWorld")
             .field("pes", &self.inner.pes)
             .field("procs_per_pe", &self.inner.procs_per_pe)
+            .field("transport", &self.inner.transport().name())
             .finish()
     }
 }

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use chant_comm::{
     CommProfile, CommStatsSnapshot, CommWorld, FaultConfig, FaultStatsSnapshot, LatencyModel,
+    TransportConfig, TransportStatsSnapshot,
 };
 use chant_ult::{Priority, SpawnAttr};
 
@@ -40,6 +41,7 @@ pub struct ClusterBuilder {
     latency: Option<LatencyModel>,
     faults: Option<FaultConfig>,
     retry: Option<RetryPolicy>,
+    transport: TransportConfig,
     profile: CommProfile,
     entries: HashMap<String, EntryFn>,
     handlers: HandlerTable,
@@ -56,6 +58,7 @@ impl ClusterBuilder {
             latency: None,
             faults: None,
             retry: None,
+            transport: TransportConfig::InProcess,
             profile: CommProfile::NATIVE,
             entries: HashMap::new(),
             handlers: HashMap::new(),
@@ -126,6 +129,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Select the transport backend (default: in-process delivery).
+    /// With [`TransportConfig::Tcp`] the cluster's messages travel as
+    /// length-prefixed frames over real sockets; with a rank and peer
+    /// list (usually [`TransportConfig::from_env`]) the cluster runs as
+    /// N cooperating OS processes, each hosting one PE's nodes — every
+    /// process must call [`ChantCluster::run`] with the same `main`.
+    pub fn transport(mut self, transport: TransportConfig) -> ClusterBuilder {
+        self.transport = transport;
+        self
+    }
+
     /// Constrain the configuration to what a real 1994 communication
     /// layer could support (default [`CommProfile::NATIVE`], i.e. no
     /// constraint). `build` panics on combinations the profiled system
@@ -189,12 +203,21 @@ impl ClusterBuilder {
         // primitives must not be used from user-level thread context.
         chant_comm::set_blocking_guard(chant_ult::is_ult_context);
 
-        let world =
-            CommWorld::with_options(self.pes, self.procs_per_pe, self.latency, self.faults);
+        let world = CommWorld::with_config(
+            self.pes,
+            self.procs_per_pe,
+            self.latency,
+            self.faults,
+            self.transport,
+        );
         let entries = Arc::new(self.entries);
         let handlers = Arc::new(self.handlers);
         let mut nodes = Vec::new();
-        for pe in 0..self.pes {
+        // Only the PEs this OS process hosts get live nodes: all of them
+        // on a single-process transport, exactly one in multi-process
+        // TCP mode (the other PEs' nodes live in their own processes).
+        let hosted = world.hosted_pes();
+        for pe in hosted.clone() {
             for process in 0..self.procs_per_pe {
                 nodes.push(ChantNode::new(
                     pe,
@@ -209,6 +232,7 @@ impl ClusterBuilder {
             }
         }
         ChantCluster {
+            base_pe: hosted.start,
             world,
             nodes,
             server: self.server,
@@ -219,6 +243,8 @@ impl ClusterBuilder {
 /// A set of Chant nodes sharing one communication world.
 pub struct ChantCluster {
     world: CommWorld,
+    /// First PE hosted here (nonzero only in multi-process TCP mode).
+    base_pe: u32,
     nodes: Vec<Arc<ChantNode>>,
     server: bool,
 }
@@ -229,14 +255,24 @@ impl ChantCluster {
         ClusterBuilder::new()
     }
 
-    /// All nodes, in `(pe, process)` rank order.
+    /// All nodes hosted by this OS process, in `(pe, process)` rank
+    /// order (every node except in multi-process TCP mode).
     pub fn nodes(&self) -> &[Arc<ChantNode>] {
         &self.nodes
     }
 
     /// The node at `(pe, process)`.
+    ///
+    /// # Panics
+    /// Panics if the node lives in another OS process (multi-process
+    /// TCP mode) or the address is outside the world.
     pub fn node(&self, pe: u32, process: u32) -> &Arc<ChantNode> {
-        &self.nodes[(pe * self.world.procs_per_pe() + process) as usize]
+        assert!(
+            self.world.hosted_pes().contains(&pe),
+            "PE {pe} is not hosted by this process (hosted: {:?})",
+            self.world.hosted_pes()
+        );
+        &self.nodes[((pe - self.base_pe) * self.world.procs_per_pe() + process) as usize]
     }
 
     /// The shared communication world.
@@ -261,7 +297,10 @@ impl ChantCluster {
     {
         let main = Arc::new(main);
         let started = Instant::now();
-        let n_nodes = self.nodes.len() as u32;
+        // The completion barrier counts every node in the *world*, not
+        // just the ones hosted here — in multi-process mode the DONE and
+        // SHUTDOWN messages cross process boundaries like any others.
+        let n_nodes = self.world.len() as u32;
         let server = self.server;
 
         let mut os_threads = Vec::new();
@@ -348,6 +387,7 @@ impl ChantCluster {
                 })
                 .collect(),
             faults: self.world.fault_stats(),
+            transport: self.world.transport_stats(),
         };
 
         // Fold the run's tallies into the global metrics registry so a
@@ -434,6 +474,9 @@ pub struct ClusterReport {
     /// What the fault shim did during the run (`None` when no shim was
     /// installed).
     pub faults: Option<FaultStatsSnapshot>,
+    /// What the transport did during the run (socket-specific counters
+    /// stay zero on the in-process backend).
+    pub transport: TransportStatsSnapshot,
 }
 
 /// One node's statistics.

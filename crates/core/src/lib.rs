@@ -76,9 +76,13 @@ pub use poll::PollingPolicy;
 pub use port::{port_send, Port, PortAddress};
 pub use rsr::{RetryPolicy, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE};
 
-// Fault-injection configuration, re-exported so cluster users can build
-// lossy worlds without depending on `chant_comm` directly.
-pub use chant_comm::{FaultConfig, FaultStats, FaultStatsSnapshot};
+// Fault-injection and transport configuration, re-exported so cluster
+// users can build lossy or multi-process worlds without depending on
+// `chant_comm` directly.
+pub use chant_comm::{
+    FaultConfig, FaultStats, FaultStatsSnapshot, TcpOptions, TransportConfig,
+    TransportStatsSnapshot,
+};
 
 #[cfg(test)]
 mod tests;

@@ -5,8 +5,14 @@
 //! spaces, plain send/receive, no shared memory.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `CHANT_TRANSPORT=tcp` to route every message through real
+//! loopback sockets instead of in-process delivery; add
+//! `CHANT_RANK=<pe>` and `CHANT_PEERS=host:port,host:port` (and start
+//! one process per PE) to run the same program as two genuinely
+//! separate OS processes — the output is identical either way.
 
-use chant::chant::{ChantCluster, ChanterId, PollingPolicy};
+use chant::chant::{ChantCluster, ChanterId, PollingPolicy, TransportConfig};
 use chant_ult::SpawnAttr;
 
 fn main() {
@@ -14,6 +20,7 @@ fn main() {
         .pes(2)
         .policy(PollingPolicy::SchedulerPollsPs) // the paper's best policy
         .server(false) // point-to-point only; no remote service requests
+        .transport(TransportConfig::from_env()) // CHANT_TRANSPORT=tcp knob
         .build();
 
     let report = cluster.run(|node| {

@@ -8,6 +8,11 @@
 //!
 //! Run with: `cargo run --example rpc_server`
 //!
+//! Set `CHANT_TRANSPORT=tcp` to route the same RPCs through real
+//! loopback sockets; add `CHANT_RANK=<pe>` and
+//! `CHANT_PEERS=host:port,host:port` (one process per rank) to run the
+//! client and the server as separate OS processes.
+//!
 //! Set `CHANT_FAULTS=1` to run the same program over a lossy network
 //! (1% drop + 1% duplication through the seeded fault shim) with RSR
 //! retry/backoff enabled; `CHANT_FAULT_DROP` and `CHANT_FAULT_SEED`
@@ -20,7 +25,9 @@
 //! the full timeline exported to `bench_results/rpc_server_trace.json`.
 
 use bytes::Bytes;
-use chant::chant::{ChantCluster, ChantError, FaultConfig, PollingPolicy, RetryPolicy};
+use chant::chant::{
+    ChantCluster, ChantError, FaultConfig, PollingPolicy, RetryPolicy, TransportConfig,
+};
 use chant_comm::Address;
 
 /// Custom RSR function id (user ids start at 1000).
@@ -40,7 +47,11 @@ fn main() {
     let faulty = std::env::var("CHANT_FAULTS").is_ok_and(|v| v != "0");
     let mut builder = ChantCluster::builder()
         .pes(2)
-        .policy(PollingPolicy::SchedulerPollsPs);
+        .policy(PollingPolicy::SchedulerPollsPs)
+        // CHANT_TRANSPORT=tcp routes everything through real sockets;
+        // with CHANT_RANK + CHANT_PEERS the two PEs become two OS
+        // processes (start one per rank, same command line).
+        .transport(TransportConfig::from_env());
     if faulty {
         let drop_p = env_parse("CHANT_FAULT_DROP", 0.01);
         let seed = env_parse("CHANT_FAULT_SEED", 42u64);

@@ -1,0 +1,295 @@
+//! Transport conformance: one suite, every backend.
+//!
+//! Correctness of the messaging semantics is defined *once* — by these
+//! tests — and each transport backend must pass all of them unchanged.
+//! The in-process backend is the oracle: it is the original synchronous
+//! delivery path that the paper's table reproductions run on. The TCP
+//! backend runs here in loopback mode (every endpoint local, every
+//! message through a real kernel socket via the frame codec, the
+//! per-peer connection manager, and a drain thread), so any divergence
+//! is a transport bug, not an environment difference.
+//!
+//! Covered per backend, via `for_each_transport!`:
+//! * per-link FIFO ordering under concurrent cross-traffic;
+//! * exactly-once RSR effects under duplication + reordering faults
+//!   (seed overridable with `CHANT_FAULT_SEED`, as in CI's matrix);
+//! * `recv_timeout` expiry and late-message delivery under all three
+//!   polling policies (plus the WQ+testany variant);
+//! * retire-on-drop: an abandoned posted receive must not swallow a
+//!   message that arrives later.
+//!
+//! A final cross-backend test runs the same workload on both and
+//! compares the endpoint-level statistics — the matching engine must
+//! not be able to tell the transports apart.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use chant::chant::{
+    ChantCluster, ChantError, ChanterId, FaultConfig, PollingPolicy, RecvSrc, RetryPolicy,
+    TransportConfig,
+};
+use chant::comm::{kind, Address, CommWorld, RecvSpec};
+
+const FN_COUNT: u32 = 1001;
+
+fn fault_seed(default: u64) -> u64 {
+    std::env::var("CHANT_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The backends under test. `config()` is the only thing a test may
+/// vary: everything observable above the transport must come out the
+/// same.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Backend {
+    InProcess,
+    TcpLoopback,
+}
+
+impl Backend {
+    fn config(self) -> TransportConfig {
+        match self {
+            Backend::InProcess => TransportConfig::InProcess,
+            Backend::TcpLoopback => TransportConfig::tcp_loopback(),
+        }
+    }
+}
+
+/// Expand one conformance scenario into a `#[test]` per backend, so a
+/// failure names the backend that diverged.
+macro_rules! for_each_transport {
+    ($name:ident, $body:expr) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn inproc() {
+                ($body)(Backend::InProcess);
+            }
+
+            #[test]
+            fn tcp() {
+                ($body)(Backend::TcpLoopback);
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Per-link FIFO ordering.
+// ---------------------------------------------------------------------
+
+for_each_transport!(ordering_per_link, |backend: Backend| {
+    const N: u32 = 200;
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(backend.config())
+        .build();
+    cluster.run(|node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        // Full-duplex: both directions at once, so the TCP backend's
+        // outbound and inbound paths are exercised concurrently.
+        for i in 0..N {
+            node.send(peer, 7, &i.to_le_bytes()).unwrap();
+        }
+        for expect in 0..N {
+            let (_info, body) = node.recv_tag(7).unwrap();
+            let got = u32::from_le_bytes(body[..4].try_into().unwrap());
+            assert_eq!(
+                got, expect,
+                "link ({} -> {}) reordered: expected {expect}, got {got}",
+                peer.pe, me.pe
+            );
+        }
+    });
+});
+
+// ---------------------------------------------------------------------
+// Exactly-once RSR effects under duplication + reordering.
+// ---------------------------------------------------------------------
+
+for_each_transport!(exactly_once_rsr_under_dup_and_reorder, |backend: Backend| {
+    const OPS: u32 = 16;
+    let counter = Arc::new(AtomicU32::new(0));
+    let c2 = Arc::clone(&counter);
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(backend.config())
+        .faults(FaultConfig::new(fault_seed(42)).dup_p(0.35).reorder_p(0.35))
+        .rsr_retry(RetryPolicy {
+            max_attempts: 6,
+            base_timeout: Duration::from_millis(25),
+            max_timeout: Duration::from_millis(200),
+            liveness_ping: Duration::from_millis(500),
+        })
+        .rsr_handler(FN_COUNT, move |_node, _req| {
+            // Non-idempotent on purpose: a re-executed duplicate is
+            // visible as a wrong final count.
+            c2.fetch_add(1, Ordering::SeqCst);
+            Ok(Bytes::new())
+        })
+        .build();
+    cluster.run(|node| {
+        if node.self_id().pe == 0 {
+            for i in 0..OPS {
+                node.rsr_call(Address::new(1, 0), FN_COUNT, &i.to_le_bytes())
+                    .expect("counted op must eventually succeed");
+            }
+        }
+    });
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        OPS,
+        "[{backend:?}] non-idempotent handler ran a duplicate (or lost an op)"
+    );
+});
+
+// ---------------------------------------------------------------------
+// Deadline receives under every polling policy.
+// ---------------------------------------------------------------------
+
+for_each_transport!(recv_timeout_under_all_policies, |backend: Backend| {
+    for policy in [
+        PollingPolicy::ThreadPolls,
+        PollingPolicy::SchedulerPollsWq,
+        PollingPolicy::SchedulerPollsPs,
+        PollingPolicy::SchedulerPollsWqTestany,
+    ] {
+        let cluster = ChantCluster::builder()
+            .pes(2)
+            .policy(policy)
+            .transport(backend.config())
+            .build();
+        cluster.run(move |node| {
+            let me = node.self_id();
+            let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+            if me.pe == 0 {
+                // Nobody sends tag 9 yet: the deadline must fire.
+                match node.recv_timeout(RecvSrc::Any, Some(9), Duration::from_millis(30)) {
+                    Err(ChantError::Timeout) => {}
+                    other => panic!("[{policy:?}] expected Timeout, got {other:?}"),
+                }
+                // Only now allow the peer to send it. The timed-out
+                // receive must have been retired — it must not swallow
+                // the late message.
+                node.send(peer, 1, b"go").unwrap();
+                let (_info, body) = node.recv_tag(9).expect("late message still arrives");
+                assert_eq!(&body[..], b"after the deadline");
+            } else {
+                node.recv_tag(1).unwrap();
+                node.send(peer, 9, b"after the deadline").unwrap();
+            }
+        });
+    }
+});
+
+// ---------------------------------------------------------------------
+// Retire-on-drop at the endpoint level.
+// ---------------------------------------------------------------------
+
+for_each_transport!(retire_on_drop, |backend: Backend| {
+    let world = CommWorld::with_transport(2, 1, backend.config());
+    let sender = world.endpoint(Address::new(0, 0));
+    let receiver = world.endpoint(Address::new(1, 0));
+
+    // Post a receive, then abandon it: the posted slot must be retired,
+    // not left to swallow the next message into an unreadable handle.
+    let abandoned = receiver.irecv(RecvSpec::tag(5));
+    drop(abandoned);
+    assert_eq!(receiver.outstanding_recvs(), 0, "[{backend:?}] not retired");
+
+    sender.isend(
+        Address::new(1, 0),
+        5,
+        0,
+        kind::DATA,
+        Bytes::from_static(b"for the living"),
+    );
+    let live = receiver.irecv(RecvSpec::tag(5));
+    live.msgwait();
+    let (info, body) = live.take().expect("completed receive has a message");
+    assert_eq!(&body[..], b"for the living");
+    assert_eq!(info.src, Address::new(0, 0));
+    assert_eq!(
+        receiver.stats().snapshot().posted_retired,
+        1,
+        "[{backend:?}] exactly one retirement"
+    );
+});
+
+// ---------------------------------------------------------------------
+// Cross-backend oracle: the matching engine can't tell them apart.
+// ---------------------------------------------------------------------
+
+/// Run one deterministic workload and return the endpoint-stat totals
+/// that must be transport-invariant (completion-order-dependent
+/// counters like msgtests are excluded: polling counts legitimately
+/// vary with wall-clock timing, matching outcomes must not).
+fn workload_totals(backend: Backend) -> (u64, u64, u64) {
+    const N: u32 = 64;
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(backend.config())
+        .build();
+    cluster.run(|node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        for i in 0..N {
+            node.send(peer, 3, &i.to_le_bytes()).unwrap();
+            node.recv_tag(3).unwrap();
+        }
+    });
+    let t = cluster.world().total_stats();
+    (t.sends, t.bytes_sent, t.bytes_received)
+}
+
+#[test]
+fn backends_agree_with_the_inprocess_oracle() {
+    let oracle = workload_totals(Backend::InProcess);
+    let tcp = workload_totals(Backend::TcpLoopback);
+    assert_eq!(
+        oracle, tcp,
+        "endpoint-level statistics must be transport-invariant"
+    );
+}
+
+/// The TCP backend must actually have used sockets (and the in-process
+/// backend must not have): reliability means no frame may be lost.
+#[test]
+fn tcp_loopback_frames_are_conserved() {
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(TransportConfig::tcp_loopback())
+        .build();
+    cluster.run(|node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        node.send(peer, 2, b"over the wire").unwrap();
+        node.recv_tag(2).unwrap();
+    });
+    let t = cluster.world().transport_stats();
+    assert_eq!(cluster.world().transport_name(), "tcp");
+    assert!(t.frames_sent > 0, "nothing crossed the socket: {t:?}");
+    assert_eq!(t.frames_sent, t.frames_received, "TCP lost frames: {t:?}");
+    assert_eq!(t.send_failures, 0, "send failures on loopback: {t:?}");
+    assert_eq!(t.malformed_frames, 0, "codec rejected own frames: {t:?}");
+    assert_eq!(t.frame_bytes_sent, t.frame_bytes_received, "byte drift: {t:?}");
+    assert!(t.connects > 0 && t.accepts > 0, "no connections: {t:?}");
+
+    let inproc = ChantCluster::builder().pes(2).build();
+    inproc.run(|_node| {});
+    let s = inproc.world().transport_stats();
+    assert_eq!(inproc.world().transport_name(), "inproc");
+    assert_eq!(
+        (s.connects, s.accepts, s.reconnects, s.malformed_frames),
+        (0, 0, 0, 0),
+        "in-process backend touched sockets: {s:?}"
+    );
+}
