@@ -41,6 +41,11 @@ use crate::world::WorldInner;
 /// First tag of the reserved control range the shim spares by default.
 pub const CONTROL_TAG_BASE: i32 = 0xFF00;
 
+/// Last tag of the reserved control range (inclusive). `chant-core`'s
+/// `ranges` module mirrors both bounds so the reservation and the
+/// shim's exemption cannot drift apart.
+pub const CONTROL_TAG_END: i32 = 0xFFFF;
+
 /// A small, fast, well-distributed PRNG (SplitMix64). Hand-rolled
 /// because the dependency set is frozen; statistical quality is more
 /// than sufficient for Bernoulli fault decisions.
@@ -306,7 +311,7 @@ impl FaultInjector {
     pub fn apply(&self, header: &Header, body: &Bytes) -> FaultAction {
         if !self.config.fault_control
             && header.kind == crate::header::kind::DATA
-            && header.tag >= CONTROL_TAG_BASE
+            && (CONTROL_TAG_BASE..=CONTROL_TAG_END).contains(&header.tag)
         {
             CommStats::bump(&self.stats.passed);
             return FaultAction::Deliver;

@@ -59,7 +59,7 @@ mod world;
 
 pub use delay::LatencyModel;
 pub use endpoint::Endpoint;
-pub use fault::{FaultConfig, FaultStats, FaultStatsSnapshot, CONTROL_TAG_BASE};
+pub use fault::{FaultConfig, FaultStats, FaultStatsSnapshot, CONTROL_TAG_BASE, CONTROL_TAG_END};
 pub use guard::set_blocking_guard;
 pub use handle::{RecvHandle, SendHandle};
 pub use testany::{testany, CompletionSet};

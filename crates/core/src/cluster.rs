@@ -21,15 +21,18 @@ use crate::error::ChantError;
 use crate::node::{ChantNode, EntryFn};
 use crate::naming::NamingMode;
 use crate::poll::PollingPolicy;
+use crate::ranges;
 use crate::rsr::{
-    HandlerTable, RetryPolicy, RsrHandler, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE,
+    HandlerTable, RetryPolicy, RsrHandler, RsrRequest, RsrStatsSnapshot, DEFAULT_DEDUP_WINDOW,
+    SERVER_FN_USER_BASE,
 };
 use crate::RecvSrc;
 
-/// Reserved control tags used by the cluster termination protocol.
-/// User code should avoid tags in `0xFF00..=0xFFFF`.
-const TAG_DONE: i32 = 0xFFFE;
-const TAG_SHUTDOWN: i32 = 0xFFFD;
+// Reserved control tags used by the cluster termination protocol; the
+// authoritative reservation (and its disjointness proofs) lives in
+// [`crate::ranges::tags`].
+const TAG_DONE: i32 = ranges::tags::DONE;
+const TAG_SHUTDOWN: i32 = ranges::tags::SHUTDOWN;
 
 /// Builder for a [`ChantCluster`].
 pub struct ClusterBuilder {
@@ -41,6 +44,7 @@ pub struct ClusterBuilder {
     latency: Option<LatencyModel>,
     faults: Option<FaultConfig>,
     retry: Option<RetryPolicy>,
+    dedup_window: usize,
     transport: TransportConfig,
     profile: CommProfile,
     entries: HashMap<String, EntryFn>,
@@ -58,6 +62,7 @@ impl ClusterBuilder {
             latency: None,
             faults: None,
             retry: None,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
             transport: TransportConfig::InProcess,
             profile: CommProfile::NATIVE,
             entries: HashMap::new(),
@@ -129,6 +134,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// How many request sequence numbers each node's server remembers
+    /// *per client node* for exactly-once dedup (default 64; clamped to
+    /// ≥ 1). Size it to at least the number of remote ops a single
+    /// client node may have in flight toward one server.
+    ///
+    /// **Overrun semantics:** the window evicts oldest-first, so a
+    /// duplicate of a request that has since fallen out of the window is
+    /// indistinguishable from a new request and is *re-executed*. For
+    /// idempotent ops (RMA get/put) that is harmless; for
+    /// non-idempotent ones (`fetch_add`, remote spawn) an undersized
+    /// window under duplication breaks exactly-once, so raise the knob
+    /// for high-rate one-sided workloads on faulty links.
+    pub fn rsr_dedup_window(mut self, window: usize) -> ClusterBuilder {
+        self.dedup_window = window.max(1);
+        self
+    }
+
     /// Select the transport backend (default: in-process delivery).
     /// With [`TransportConfig::Tcp`] the cluster's messages travel as
     /// length-prefixed frames over real sockets; with a rank and peer
@@ -170,6 +192,28 @@ impl ClusterBuilder {
         assert!(
             fn_id >= SERVER_FN_USER_BASE,
             "RSR ids below {SERVER_FN_USER_BASE} are reserved for built-ins"
+        );
+        let h: RsrHandler = Arc::new(f);
+        self.handlers.insert(fn_id, h);
+        self
+    }
+
+    /// Register a *runtime-extension* RSR handler on every node. Unlike
+    /// [`ClusterBuilder::rsr_handler`], which serves user function ids
+    /// (≥ [`SERVER_FN_USER_BASE`]), extension handlers occupy the
+    /// reserved range [`crate::ranges::fns::EXT_BASE`]`..=`
+    /// [`crate::ranges::fns::EXT_END`] so runtime layers built on RSR
+    /// (the one-sided memory crate, for example) can never collide with
+    /// application handlers. Not intended for application code.
+    pub fn rsr_ext_handler<F>(mut self, fn_id: u32, f: F) -> ClusterBuilder
+    where
+        F: Fn(&Arc<ChantNode>, RsrRequest) -> Result<Bytes, ChantError> + Send + Sync + 'static,
+    {
+        assert!(
+            (ranges::fns::EXT_BASE..=ranges::fns::EXT_END).contains(&fn_id),
+            "extension RSR ids must lie in {:#x}..={:#x}",
+            ranges::fns::EXT_BASE,
+            ranges::fns::EXT_END
         );
         let h: RsrHandler = Arc::new(f);
         self.handlers.insert(fn_id, h);
@@ -226,6 +270,7 @@ impl ClusterBuilder {
                     self.naming,
                     self.policy,
                     self.retry.clone(),
+                    self.dedup_window,
                     Arc::clone(&entries),
                     Arc::clone(&handlers),
                 ));

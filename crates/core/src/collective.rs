@@ -20,8 +20,9 @@ use crate::error::ChantError;
 use crate::id::ChanterId;
 use crate::node::{ChantNode, RecvSrc};
 
-/// Base of the reserved collective tag range.
-const COLLECTIVE_TAG_BASE: i32 = 0xFD00;
+// Base of the reserved collective tag range; the authoritative
+// reservation lives in [`crate::ranges::tags`].
+const COLLECTIVE_TAG_BASE: i32 = crate::ranges::tags::COLLECTIVE_BASE;
 
 /// A fixed, ordered set of global threads performing collectives
 /// together. Every member must construct the group with the *same*

@@ -67,6 +67,27 @@ pub enum ChantError {
     /// failed a liveness PING: the node is considered dead or
     /// partitioned, so failing fast beats waiting forever.
     NodeUnreachable(ChanterId),
+    /// A one-sided memory operation named a segment id that the target
+    /// node never registered.
+    NoSuchSegment(u32),
+    /// A one-sided memory operation's `offset + len` falls outside the
+    /// target segment.
+    RmaOutOfBounds {
+        /// Segment id the operation addressed.
+        seg: u32,
+        /// Requested starting offset.
+        offset: u64,
+        /// Requested span in bytes.
+        len: u64,
+        /// The segment's registered size.
+        size: u64,
+    },
+    /// A one-sided atomic addressed a cell that is not 8-byte aligned
+    /// (atomics operate on little-endian `u64` cells).
+    RmaMisaligned {
+        /// Offending offset.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for ChantError {
@@ -102,6 +123,19 @@ impl fmt::Display for ChantError {
             ChantError::Timeout => write!(f, "operation timed out"),
             ChantError::NodeUnreachable(id) => {
                 write!(f, "node ({}, {}) unreachable", id.pe, id.process)
+            }
+            ChantError::NoSuchSegment(seg) => write!(f, "no such memory segment {seg}"),
+            ChantError::RmaOutOfBounds {
+                seg,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "rma access [{offset}, {offset}+{len}) outside segment {seg} of {size} bytes"
+            ),
+            ChantError::RmaMisaligned { offset } => {
+                write!(f, "rma atomic at offset {offset} is not 8-byte aligned")
             }
         }
     }

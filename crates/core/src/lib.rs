@@ -62,8 +62,9 @@ mod node;
 pub(crate) mod ops;
 mod poll;
 mod port;
+pub mod ranges;
 mod rsr;
-mod wire;
+pub mod wire;
 
 pub use cluster::{ChantCluster, ClusterBuilder, ClusterReport, NodeReport};
 pub use collective::ChantGroup;
@@ -74,7 +75,7 @@ pub use node::{ChantNode, ChantRecvHandle, MsgInfo, RecvSrc};
 pub use ops::RemoteSpawnOptions;
 pub use poll::PollingPolicy;
 pub use port::{port_send, Port, PortAddress};
-pub use rsr::{RetryPolicy, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE};
+pub use rsr::{RetryPolicy, RsrCallHandle, RsrRequest, RsrStatsSnapshot, SERVER_FN_USER_BASE};
 
 // Fault-injection and transport configuration, re-exported so cluster
 // users can build lossy or multi-process worlds without depending on

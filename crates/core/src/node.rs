@@ -76,6 +76,10 @@ pub struct ChantNode {
     /// (the paper's "coherence management" class of RSRs).
     pub(crate) kv: Mutex<HashMap<String, Bytes>>,
     pub(crate) server_tid: AtomicU32,
+    /// Typed per-node extension state, keyed by type. Runtime extensions
+    /// (e.g. `chant-rma`'s segment table) hang their node-scoped state
+    /// here instead of the core growing a field per subsystem.
+    ext: Mutex<HashMap<std::any::TypeId, Arc<dyn Any + Send + Sync>>>,
 }
 
 impl ChantNode {
@@ -87,6 +91,7 @@ impl ChantNode {
         naming: NamingMode,
         policy: PollingPolicy,
         retry: Option<RetryPolicy>,
+        dedup_window: usize,
         entries: Arc<HashMap<String, EntryFn>>,
         handlers: Arc<HandlerTable>,
     ) -> Arc<ChantNode> {
@@ -103,12 +108,13 @@ impl ChantNode {
             engine,
             entries,
             handlers,
-            rsr: RsrState::new(retry),
+            rsr: RsrState::new(retry, dedup_window),
             exits: Mutex::new(HashMap::new()),
             exit_waiters: Mutex::new(HashMap::new()),
             detach_requested: Mutex::new(std::collections::HashSet::new()),
             kv: Mutex::new(HashMap::new()),
             server_tid: AtomicU32::new(0),
+            ext: Mutex::new(HashMap::new()),
         })
     }
 
@@ -176,6 +182,24 @@ impl ChantNode {
     /// (cf. `pthread_chanter_self`'s ambient context).
     pub fn current() -> Option<Arc<ChantNode>> {
         CURRENT_NODE.with(|c| c.borrow().clone())
+    }
+
+    /// Fetch this node's instance of a typed extension state, creating
+    /// it with `init` on first use. Runtime extensions (the one-sided
+    /// memory layer, for example) keep their per-node state here; one
+    /// instance exists per `(node, type)` pair, shared by every caller.
+    pub fn extension<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut ext = self.ext.lock();
+        let entry = ext
+            .entry(std::any::TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("extension slot holds a value of its keyed type")
     }
 
     /// The global id of the calling thread (`pthread_chanter_self`).

@@ -1,0 +1,175 @@
+//! Reserved identifier ranges, centralized.
+//!
+//! Chant multiplexes several protocols over two identifier spaces: the
+//! user-visible *tag* space (collective traffic, cluster control) and
+//! the RSR *function-code* space (built-in thread ops, runtime
+//! extensions such as remote memory, user handlers). Before this module
+//! the reservations lived as scattered magic constants — one in
+//! `cluster.rs`, one in `collective.rs`, one in `chant-comm`'s fault
+//! shim — which made it easy for a new subsystem to collide with an old
+//! one. Every reservation now lives here, and both compile-time
+//! assertions and a unit test keep the ranges disjoint.
+
+/// Reserved ranges of the user tag space (`i32`, non-negative).
+///
+/// User code should stay below [`tags::COLLECTIVE_BASE`]; everything at
+/// or above it belongs to the runtime.
+pub mod tags {
+    /// First tag reserved for collective traffic ([`crate::ChantGroup`]).
+    pub const COLLECTIVE_BASE: i32 = 0xFD00;
+    /// Last tag reserved for collective traffic (inclusive).
+    pub const COLLECTIVE_END: i32 = 0xFDFF;
+
+    /// First tag reserved for cluster control traffic. Control tags are
+    /// exempt from the fault-injection shim unless
+    /// [`chant_comm::FaultConfig::fault_control`] opts in; the constant
+    /// is shared with `chant-comm` so the exemption and the reservation
+    /// cannot drift apart.
+    pub const CONTROL_BASE: i32 = chant_comm::CONTROL_TAG_BASE;
+    /// Last tag reserved for cluster control traffic (inclusive; also
+    /// the top of the tag-overload naming mode's user-tag space).
+    pub const CONTROL_END: i32 = chant_comm::CONTROL_TAG_END;
+
+    /// Termination-barrier "node finished" tag (inside the control range).
+    pub const DONE: i32 = 0xFFFE;
+    /// Termination-barrier "all may exit" tag (inside the control range).
+    pub const SHUTDOWN: i32 = 0xFFFD;
+}
+
+/// Reserved ranges of the RSR function-code space (`u32`).
+pub mod fns {
+    /// First built-in global-thread-operation code.
+    pub const BUILTIN_BASE: u32 = 1;
+    /// Last code reserved for built-ins (inclusive).
+    pub const BUILTIN_END: u32 = 0xFF;
+
+    /// Create a thread on the target node (remote `pthread_chanter_create`).
+    pub const CREATE: u32 = 1;
+    /// Join a thread on the target node; reply deferred until it exits.
+    pub const JOIN: u32 = 2;
+    /// Cancel a thread on the target node.
+    pub const CANCEL: u32 = 3;
+    /// Detach a thread on the target node.
+    pub const DETACH: u32 = 4;
+    /// Remote fetch from the node-local store.
+    pub const FETCH: u32 = 5;
+    /// Remote store into the node-local store (coherence-style update).
+    pub const STORE: u32 = 6;
+    /// Liveness/latency probe; echoes its argument.
+    pub const PING: u32 = 7;
+
+    /// First runtime-extension code: reserved for companion crates that
+    /// ship additional server-side subsystems (registered through
+    /// [`crate::ClusterBuilder::rsr_ext_handler`]).
+    pub const EXT_BASE: u32 = 0x100;
+    /// Last runtime-extension code (inclusive).
+    pub const EXT_END: u32 = 0x1FF;
+
+    /// One-sided remote read (`chant-rma`): `(segment, offset, len)` →
+    /// the bytes.
+    pub const RMA_GET: u32 = 0x100;
+    /// One-sided remote write: `(segment, offset, bytes)` → `()`.
+    pub const RMA_PUT: u32 = 0x101;
+    /// One-sided atomic fetch-and-add on an aligned `u64` cell:
+    /// `(segment, offset, delta)` → the previous value.
+    pub const RMA_FETCH_ADD: u32 = 0x102;
+    /// One-sided atomic compare-and-swap on an aligned `u64` cell:
+    /// `(segment, offset, expected, desired)` → the previous value.
+    pub const RMA_COMPARE_SWAP: u32 = 0x103;
+    /// Last code of the RMA sub-range (inclusive); `chant-rma` owns
+    /// `RMA_GET..=RMA_END` within the extension range.
+    pub const RMA_END: u32 = 0x10F;
+
+    /// First function code available to user-registered RSR handlers.
+    pub const USER_BASE: u32 = 1000;
+}
+
+// Compile-time disjointness: a colliding reservation fails the build,
+// not a debugging session.
+const _: () = {
+    assert!(tags::COLLECTIVE_BASE <= tags::COLLECTIVE_END);
+    assert!(tags::COLLECTIVE_END < tags::CONTROL_BASE);
+    assert!(tags::CONTROL_BASE <= tags::SHUTDOWN);
+    assert!(tags::SHUTDOWN < tags::DONE);
+    assert!(tags::DONE <= tags::CONTROL_END);
+    assert!(fns::BUILTIN_BASE <= fns::BUILTIN_END);
+    assert!(fns::BUILTIN_END < fns::EXT_BASE);
+    assert!(fns::EXT_BASE <= fns::RMA_GET);
+    assert!(fns::RMA_GET < fns::RMA_PUT);
+    assert!(fns::RMA_PUT < fns::RMA_FETCH_ADD);
+    assert!(fns::RMA_FETCH_ADD < fns::RMA_COMPARE_SWAP);
+    assert!(fns::RMA_COMPARE_SWAP <= fns::RMA_END);
+    assert!(fns::RMA_END <= fns::EXT_END);
+    assert!(fns::EXT_END < fns::USER_BASE);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every reserved range, as `(name, start, end)` half-open-free
+    /// inclusive intervals, must be pairwise disjoint within its space.
+    #[test]
+    fn tag_ranges_are_disjoint() {
+        let ranges = [
+            ("collective", tags::COLLECTIVE_BASE, tags::COLLECTIVE_END),
+            ("control", tags::CONTROL_BASE, tags::CONTROL_END),
+        ];
+        for (i, a) in ranges.iter().enumerate() {
+            assert!(a.1 <= a.2, "{} range inverted", a.0);
+            for b in &ranges[i + 1..] {
+                assert!(
+                    a.2 < b.1 || b.2 < a.1,
+                    "tag ranges {} and {} overlap",
+                    a.0,
+                    b.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fn_ranges_are_disjoint() {
+        let ranges = [
+            ("builtin", fns::BUILTIN_BASE, fns::BUILTIN_END),
+            ("extension", fns::EXT_BASE, fns::EXT_END),
+            ("user", fns::USER_BASE, u32::MAX),
+        ];
+        for (i, a) in ranges.iter().enumerate() {
+            assert!(a.1 <= a.2, "{} range inverted", a.0);
+            for b in &ranges[i + 1..] {
+                assert!(
+                    a.2 < b.1 || b.2 < a.1,
+                    "fn ranges {} and {} overlap",
+                    a.0,
+                    b.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builtins_and_rma_fit_their_ranges() {
+        for f in [
+            fns::CREATE,
+            fns::JOIN,
+            fns::CANCEL,
+            fns::DETACH,
+            fns::FETCH,
+            fns::STORE,
+            fns::PING,
+        ] {
+            assert!((fns::BUILTIN_BASE..=fns::BUILTIN_END).contains(&f));
+        }
+        for f in [
+            fns::RMA_GET,
+            fns::RMA_PUT,
+            fns::RMA_FETCH_ADD,
+            fns::RMA_COMPARE_SWAP,
+        ] {
+            assert!((fns::EXT_BASE..=fns::RMA_END).contains(&f));
+        }
+        assert!((tags::CONTROL_BASE..=tags::CONTROL_END).contains(&tags::DONE));
+        assert!((tags::CONTROL_BASE..=tags::CONTROL_END).contains(&tags::SHUTDOWN));
+    }
+}

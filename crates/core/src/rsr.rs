@@ -41,28 +41,15 @@ use crate::node::ChantNode;
 use crate::ops;
 use crate::wire::{decode_reply, decode_rsr, encode_reply, encode_rsr};
 
-/// Built-in RSR function ids (the paper's examples: remote thread
-/// creation §3.3, remote fetch, coherence management §3.2).
-pub(crate) mod fns {
-    /// Create a thread on the target node (remote `pthread_chanter_create`).
-    pub const CREATE: u32 = 1;
-    /// Join a thread on the target node; reply deferred until it exits.
-    pub const JOIN: u32 = 2;
-    /// Cancel a thread on the target node.
-    pub const CANCEL: u32 = 3;
-    /// Detach a thread on the target node.
-    pub const DETACH: u32 = 4;
-    /// Remote fetch from the node-local store.
-    pub const FETCH: u32 = 5;
-    /// Remote store into the node-local store (coherence-style update).
-    pub const STORE: u32 = 6;
-    /// Liveness/latency probe; echoes its argument.
-    pub const PING: u32 = 7;
-}
+// Built-in RSR function ids (the paper's examples: remote thread
+// creation §3.3, remote fetch, coherence management §3.2) now live with
+// every other reserved identifier in [`crate::ranges`].
+pub(crate) use crate::ranges::fns;
 
 /// First function id available to user-registered RSR handlers; smaller
-/// ids are reserved for the built-in global thread operations.
-pub const SERVER_FN_USER_BASE: u32 = 1000;
+/// ids are reserved for built-in global thread operations and runtime
+/// extensions (see [`crate::ranges::fns`]).
+pub const SERVER_FN_USER_BASE: u32 = crate::ranges::fns::USER_BASE;
 
 /// A decoded remote service request, as seen by a user handler.
 #[derive(Clone, Debug)]
@@ -117,12 +104,15 @@ impl Default for RetryPolicy {
     }
 }
 
-/// How many per-client request sequence numbers the server remembers.
-/// A retransmission can only arrive while its original is younger than
-/// the window: with in-order-ish links and ≤ `max_attempts` duplicates
-/// per op, 64 outstanding ops per client node is far beyond what the
-/// paper's workloads generate.
-pub(crate) const DEDUP_WINDOW: usize = 64;
+/// Default for how many per-client request sequence numbers the server
+/// remembers (overridable with
+/// [`crate::ClusterBuilder::rsr_dedup_window`]). A retransmission can
+/// only arrive while its original is younger than the window: with
+/// in-order-ish links and ≤ `max_attempts` duplicates per op, 64
+/// outstanding ops per client node is far beyond what the paper's
+/// workloads generate — but high-rate one-sided (RMA) traffic can
+/// overrun it, which is why it became a knob.
+pub(crate) const DEFAULT_DEDUP_WINDOW: usize = 64;
 
 enum DedupEntry {
     /// Executing now, or a deferred reply (JOIN) not yet sent: duplicates
@@ -175,17 +165,20 @@ pub(crate) struct RsrState {
     /// exempt from dedup).
     seq: AtomicU64,
     pub(crate) retry: Option<RetryPolicy>,
+    /// Per-client dedup window size (entries per client node).
+    window: usize,
     dedup: Mutex<HashMap<Address, BTreeMap<u64, DedupEntry>>>,
     pub(crate) stats: RsrStats,
     malformed_note: Mutex<Option<String>>,
 }
 
 impl RsrState {
-    pub fn new(retry: Option<RetryPolicy>) -> RsrState {
+    pub fn new(retry: Option<RetryPolicy>, window: usize) -> RsrState {
         RsrState {
             token: AtomicU32::new(0),
             seq: AtomicU64::new(1),
             retry,
+            window: window.max(1),
             dedup: Mutex::new(HashMap::new()),
             stats: RsrStats::default(),
             malformed_note: Mutex::new(None),
@@ -214,7 +207,11 @@ impl RsrState {
             Some(DedupEntry::Completed(b)) => DedupVerdict::Replay(b.clone()),
             None => {
                 win.insert(seq, DedupEntry::Pending);
-                while win.len() > DEDUP_WINDOW {
+                // Overrun semantics: the oldest entries are evicted, so a
+                // duplicate of a request older than the window is treated
+                // as new and re-executed. Size the window (builder knob)
+                // above the worst-case outstanding-ops-per-client count.
+                while win.len() > self.window {
                     win.pop_first();
                 }
                 DedupVerdict::New
@@ -251,6 +248,49 @@ impl RsrState {
     }
 }
 
+/// The client half of an outstanding remote service request, decoupled
+/// from its wait. [`ChantNode::rsr_icall`] posts the reply receive
+/// *before* sending the request (so the response always finds a posted
+/// buffer) and returns this handle; completion is then observed through
+/// the node's normal polling machinery — [`ChantNode::rsr_test`] for a
+/// nonblocking probe, [`ChantNode::rsr_wait`] for a policy-governed
+/// blocking wait (retrying, when the cluster has a [`RetryPolicy`]),
+/// [`ChantNode::rsr_wait_deadline`] for a bounded wait. The one-sided
+/// memory layer (`chant-rma`) builds its nonblocking operation handles
+/// directly on this, which is how RMA completions ride the same four
+/// polling policies as ordinary receives.
+///
+/// Dropping the handle retires the posted reply receive (nothing leaks),
+/// and — because the request keeps its sequence number — the server's
+/// dedup window still guarantees the operation runs at most once even if
+/// the abandoned request is retransmitted by a faulty transport.
+pub struct RsrCallHandle {
+    dst: Address,
+    spec: RecvSpec,
+    body: Bytes,
+    seq: u64,
+    state: Mutex<CallState>,
+}
+
+struct CallState {
+    reply: chant_comm::RecvHandle,
+    /// Decoded outcome, once the matching reply has been taken.
+    result: Option<Result<Bytes, ChantError>>,
+}
+
+impl RsrCallHandle {
+    /// The request's per-node sequence number (diagnostics; duplicates
+    /// of this request replay, not re-execute).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Non-counting bookkeeping check: has the reply been decoded?
+    pub fn is_complete(&self) -> bool {
+        self.state.lock().result.is_some()
+    }
+}
+
 impl ChantNode {
     // ------------------------------------------------------------------
     // Client side
@@ -268,6 +308,19 @@ impl ChantNode {
     /// when the target also misses a liveness PING —
     /// [`ChantError::NodeUnreachable`].
     pub fn rsr_call(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<Bytes, ChantError> {
+        let call = self.rsr_icall(dst, fn_id, args)?;
+        self.rsr_wait(&call)
+    }
+
+    /// Issue a remote service request without waiting for its reply: the
+    /// nonblocking half of [`ChantNode::rsr_call`]. See
+    /// [`RsrCallHandle`] for the completion interface.
+    pub fn rsr_icall(
+        &self,
+        dst: Address,
+        fn_id: u32,
+        args: &[u8],
+    ) -> Result<RsrCallHandle, ChantError> {
         let me = self.self_id();
         let token = self.rsr.next_token();
         let seq = self.rsr.next_seq();
@@ -278,83 +331,166 @@ impl ChantNode {
             Some(token as i32),
         )?;
         let body = encode_rsr(fn_id, token, me, seq, args);
-        match self.rsr.retry.clone() {
-            None => self.rsr_exchange(dst, spec, body, seq),
-            Some(policy) => self.rsr_exchange_retrying(dst, spec, body, seq, &policy),
-        }
+        let reply = self.endpoint().irecv(spec);
+        self.endpoint().isend(dst, 0, 0, kind::RSR, body.clone());
+        Ok(RsrCallHandle {
+            dst,
+            spec,
+            body,
+            seq,
+            state: Mutex::new(CallState {
+                reply,
+                result: None,
+            }),
+        })
     }
 
-    /// The original wait-forever exchange (no retry policy installed).
-    fn rsr_exchange(
-        &self,
-        dst: Address,
-        spec: RecvSpec,
-        body: Bytes,
-        seq: u64,
-    ) -> Result<Bytes, ChantError> {
-        let mut reply = self.endpoint().irecv(spec);
-        self.endpoint().isend(dst, 0, 0, kind::RSR, body);
-        loop {
-            self.wait_handle(&reply);
-            let (_, payload) = reply
-                .take()
-                .ok_or_else(|| ChantError::Wire("completed RSR reply had no message".into()))?;
-            let (echo, result) = decode_reply(&payload)?;
-            if echo == seq {
-                return result;
+    /// Take a completed reply out of the underlying receive and decode
+    /// it. Returns `false` when the reply was a stale echo of a wrapped
+    /// token (the receive is re-posted and the wait must continue).
+    /// Caller holds the state lock.
+    fn rsr_absorb(&self, call: &RsrCallHandle, st: &mut CallState) -> bool {
+        let Some((_, payload)) = st.reply.take() else {
+            st.result = Some(Err(ChantError::Wire(
+                "completed RSR reply had no message".into(),
+            )));
+            return true;
+        };
+        match decode_reply(&payload) {
+            Err(e) => {
+                st.result = Some(Err(e));
+                true
+            }
+            Ok((echo, result)) if echo == call.seq => {
+                st.result = Some(result);
+                true
             }
             // A stale reply to a wrapped token: re-post and keep waiting.
-            reply = self.endpoint().irecv(spec);
+            Ok(_) => {
+                st.reply = self.endpoint().irecv(call.spec);
+                false
+            }
         }
     }
 
-    /// Bounded exchange: deadline per attempt, exponential backoff,
-    /// liveness check on exhaustion.
-    fn rsr_exchange_retrying(
+    /// Nonblocking completion probe for an outstanding request (one
+    /// `msgtest` against the posted reply, like
+    /// [`ChantNode::msgtest`] for a receive).
+    pub fn rsr_test(&self, call: &RsrCallHandle) -> bool {
+        let mut st = call.state.lock();
+        loop {
+            if st.result.is_some() {
+                return true;
+            }
+            if !st.reply.msgtest() {
+                return false;
+            }
+            self.rsr_absorb(call, &mut st);
+        }
+    }
+
+    /// Claim the decoded reply of a completed request. `None` until a
+    /// test or wait has observed completion.
+    pub fn rsr_take(&self, call: &RsrCallHandle) -> Option<Result<Bytes, ChantError>> {
+        call.state.lock().result.clone()
+    }
+
+    /// Block the calling thread (never the processor) until the reply is
+    /// in hand, under the node's polling policy — retrying with backoff
+    /// when the cluster has a [`RetryPolicy`], exactly as
+    /// [`ChantNode::rsr_call`] does.
+    pub fn rsr_wait(&self, call: &RsrCallHandle) -> Result<Bytes, ChantError> {
+        match self.rsr.retry.clone() {
+            None => loop {
+                let reply = {
+                    let mut st = call.state.lock();
+                    if let Some(r) = st.result.clone() {
+                        return r;
+                    }
+                    if st.reply.msgtest() {
+                        self.rsr_absorb(call, &mut st);
+                        continue;
+                    }
+                    st.reply.clone()
+                };
+                // The wait runs without the state lock held: a blocked
+                // thread must not wedge other threads of this VP that
+                // test the same handle.
+                self.wait_handle(&reply);
+            },
+            Some(policy) => self.rsr_wait_retrying(call, &policy),
+        }
+    }
+
+    /// Bounded wait on the reply under the node's polling policy.
+    /// Returns [`ChantError::Timeout`] once `deadline` passes; the
+    /// handle stays valid (the reply may still arrive, and the wait may
+    /// be re-issued). Does *not* retransmit — bounded waits compose with
+    /// the caller's own pacing; use [`ChantNode::rsr_wait`] for the
+    /// cluster's retry/backoff machinery.
+    pub fn rsr_wait_deadline(
         &self,
-        dst: Address,
-        spec: RecvSpec,
-        body: Bytes,
-        seq: u64,
+        call: &RsrCallHandle,
+        deadline: Instant,
+    ) -> Result<(), ChantError> {
+        loop {
+            let reply = {
+                let mut st = call.state.lock();
+                if st.result.is_some() {
+                    return Ok(());
+                }
+                if st.reply.msgtest() {
+                    self.rsr_absorb(call, &mut st);
+                    continue;
+                }
+                st.reply.clone()
+            };
+            self.engine().wait_deadline(&reply, deadline)?;
+        }
+    }
+
+    /// Bounded retrying wait: deadline per attempt, exponential backoff,
+    /// liveness check on exhaustion. Attempt 1 is the send performed by
+    /// [`ChantNode::rsr_icall`]; its deadline starts when the wait does.
+    fn rsr_wait_retrying(
+        &self,
+        call: &RsrCallHandle,
         policy: &RetryPolicy,
     ) -> Result<Bytes, ChantError> {
         let mut timeout = policy.base_timeout;
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.rsr.stats.retries.fetch_add(1, Ordering::Relaxed);
-            }
-            let mut reply = self.endpoint().irecv(spec);
-            self.endpoint().isend(dst, 0, 0, kind::RSR, body.clone());
-            let deadline = Instant::now() + timeout;
-            loop {
-                match self.engine().wait_deadline(&reply, deadline) {
-                    Ok(()) => {
-                        let Some((_, payload)) = reply.take() else {
-                            return Err(ChantError::Wire(
-                                "completed RSR reply had no message".into(),
-                            ));
-                        };
-                        let (echo, result) = decode_reply(&payload)?;
-                        if echo == seq {
-                            return result;
-                        }
-                        // Stale echo: re-arm under the same deadline.
-                        reply = self.endpoint().irecv(spec);
-                    }
-                    Err(ChantError::Timeout) => break,
-                    Err(e) => return Err(e),
+                // Retransmit the *same* token and sequence number with a
+                // freshly posted reply buffer (the old posted receive is
+                // retired on replacement).
+                {
+                    let mut st = call.state.lock();
+                    st.reply = self.endpoint().irecv(call.spec);
                 }
+                self.endpoint()
+                    .isend(call.dst, 0, 0, kind::RSR, call.body.clone());
+            }
+            let deadline = Instant::now() + timeout;
+            match self.rsr_wait_deadline(call, deadline) {
+                Ok(()) => {
+                    return self
+                        .rsr_take(call)
+                        .expect("rsr_wait_deadline returned without a result")
+                }
+                Err(ChantError::Timeout) => {}
+                Err(e) => return Err(e),
             }
             timeout = (timeout * 2).min(policy.max_timeout);
         }
         self.rsr.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-        if self.probe_liveness(dst, policy.liveness_ping) {
+        if self.probe_liveness(call.dst, policy.liveness_ping) {
             Err(ChantError::Timeout)
         } else {
             self.rsr.stats.unreachable.fetch_add(1, Ordering::Relaxed);
             Err(ChantError::NodeUnreachable(ChanterId::new(
-                dst.pe,
-                dst.process,
+                call.dst.pe,
+                call.dst.process,
                 0,
             )))
         }

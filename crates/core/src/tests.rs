@@ -1318,3 +1318,60 @@ fn msgwait_any_round_robin_stress() {
         });
     }
 }
+
+// ---------------------------------------------------------------------
+// RSR dedup window sizing (the rsr_dedup_window builder knob)
+// ---------------------------------------------------------------------
+
+#[test]
+fn dedup_window_evicts_oldest_seq_first() {
+    use crate::rsr::{DedupVerdict, RsrState};
+    use chant_comm::Address;
+
+    let st = RsrState::new(None, 2);
+    let client = Address::new(0, 0);
+    assert!(matches!(st.dedup_begin(client, 1), DedupVerdict::New));
+    st.dedup_complete(client, 1, Bytes::from_static(b"r1"));
+    assert!(matches!(st.dedup_begin(client, 2), DedupVerdict::New));
+    // Inside the window a duplicate replays the cached reply, and an
+    // in-flight duplicate is dropped.
+    assert!(matches!(
+        st.dedup_begin(client, 1),
+        DedupVerdict::Replay(ref b) if &b[..] == b"r1"
+    ));
+    assert!(matches!(st.dedup_begin(client, 2), DedupVerdict::InFlight));
+    // A third distinct seq overruns the 2-entry window, evicting the
+    // oldest (seq 1): its late duplicate is now indistinguishable from a
+    // new request — the documented overrun semantics.
+    assert!(matches!(st.dedup_begin(client, 3), DedupVerdict::New));
+    assert!(matches!(st.dedup_begin(client, 1), DedupVerdict::New));
+}
+
+#[test]
+fn dedup_window_is_clamped_to_at_least_one() {
+    use crate::rsr::{DedupVerdict, RsrState};
+    use chant_comm::Address;
+
+    // A zero window would disable dedup entirely; the constructor (and
+    // the builder knob) clamp it so the current request always dedups.
+    let st = RsrState::new(None, 0);
+    let client = Address::new(3, 0);
+    assert!(matches!(st.dedup_begin(client, 9), DedupVerdict::New));
+    assert!(matches!(st.dedup_begin(client, 9), DedupVerdict::InFlight));
+}
+
+#[test]
+fn dedup_windows_are_per_client_node() {
+    use crate::rsr::{DedupVerdict, RsrState};
+    use chant_comm::Address;
+
+    let st = RsrState::new(None, 1);
+    // The same seq from two different client nodes is two different
+    // requests; one client's traffic cannot evict another's window.
+    assert!(matches!(st.dedup_begin(Address::new(0, 0), 5), DedupVerdict::New));
+    assert!(matches!(st.dedup_begin(Address::new(1, 0), 5), DedupVerdict::New));
+    assert!(matches!(
+        st.dedup_begin(Address::new(0, 0), 5),
+        DedupVerdict::InFlight
+    ));
+}

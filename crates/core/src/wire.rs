@@ -11,11 +11,17 @@ use crate::error::ChantError;
 use crate::id::ChanterId;
 
 /// Little-endian reader over a message body.
-pub(crate) struct Reader<'a> {
+///
+/// Public so companion crates (e.g. `chant-rma`) can decode their own
+/// RSR argument envelopes with the same totality discipline as the
+/// built-ins: every accessor returns [`ChantError::Wire`] on truncated
+/// or malformed input, never panics.
+pub struct Reader<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf }
     }
@@ -31,6 +37,7 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Consume one byte.
     pub fn u8(&mut self) -> Result<u8, ChantError> {
         self.need(1)?;
         let v = self.buf[0];
@@ -38,6 +45,7 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
+    /// Consume a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, ChantError> {
         self.need(4)?;
         let (head, rest) = self.buf.split_at(4);
@@ -45,6 +53,7 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
     }
 
+    /// Consume a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, ChantError> {
         self.need(8)?;
         let (head, rest) = self.buf.split_at(8);
@@ -52,6 +61,7 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
     }
 
+    /// Consume a length-prefixed byte slice.
     pub fn bytes(&mut self) -> Result<&'a [u8], ChantError> {
         let len = self.u32()? as usize;
         self.need(len)?;
@@ -60,6 +70,7 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Consume a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<&'a str, ChantError> {
         std::str::from_utf8(self.bytes()?)
             .map_err(|e| ChantError::Wire(format!("invalid utf-8: {e}")))
@@ -71,39 +82,52 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Little-endian writer building a message body.
-pub(crate) struct Writer {
+/// Little-endian writer building a message body (the [`Reader`]'s
+/// encoding side; see its docs for why this is public).
+pub struct Writer {
     buf: BytesMut,
 }
 
+impl Default for Writer {
+    fn default() -> Writer {
+        Writer::new()
+    }
+}
+
 impl Writer {
+    /// Start an empty body.
     pub fn new() -> Writer {
         Writer {
             buf: BytesMut::with_capacity(64),
         }
     }
 
+    /// Append one byte.
     pub fn u8(mut self, v: u8) -> Writer {
         self.buf.put_u8(v);
         self
     }
 
+    /// Append a little-endian `u32`.
     pub fn u32(mut self, v: u32) -> Writer {
         self.buf.put_u32_le(v);
         self
     }
 
+    /// Append a little-endian `u64`.
     pub fn u64(mut self, v: u64) -> Writer {
         self.buf.put_u64_le(v);
         self
     }
 
+    /// Append a length-prefixed byte slice.
     pub fn bytes(mut self, v: &[u8]) -> Writer {
         self.buf.put_u32_le(v.len() as u32);
         self.buf.put_slice(v);
         self
     }
 
+    /// Append a length-prefixed UTF-8 string.
     pub fn str(self, v: &str) -> Writer {
         self.bytes(v.as_bytes())
     }
@@ -114,6 +138,7 @@ impl Writer {
         self
     }
 
+    /// Freeze the body.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
     }
@@ -181,10 +206,39 @@ pub(crate) fn decode_rsr(body: &Bytes) -> Result<RsrEnvelope, ChantError> {
 pub(crate) const REPLY_OK: u8 = 0;
 pub(crate) const REPLY_ERR: u8 = 1;
 
+/// Error discriminants inside an ERR reply. Most remote failures travel
+/// as their display string (`ERR_REMOTE`); the one-sided memory errors
+/// carry their fields so the client sees the same typed error a local
+/// operation would produce.
+const ERR_REMOTE: u8 = 0;
+const ERR_NO_SEGMENT: u8 = 1;
+const ERR_RMA_BOUNDS: u8 = 2;
+const ERR_RMA_ALIGN: u8 = 3;
+
 pub(crate) fn encode_reply(seq: u64, result: &Result<Bytes, ChantError>) -> Bytes {
+    let w = Writer::new();
     match result {
-        Ok(payload) => Writer::new().u8(REPLY_OK).u64(seq).raw(payload).finish(),
-        Err(e) => Writer::new().u8(REPLY_ERR).u64(seq).str(&e.to_string()).finish(),
+        Ok(payload) => w.u8(REPLY_OK).u64(seq).raw(payload).finish(),
+        Err(e) => {
+            let w = w.u8(REPLY_ERR).u64(seq);
+            match e {
+                ChantError::NoSuchSegment(seg) => w.u8(ERR_NO_SEGMENT).u32(*seg),
+                ChantError::RmaOutOfBounds {
+                    seg,
+                    offset,
+                    len,
+                    size,
+                } => w
+                    .u8(ERR_RMA_BOUNDS)
+                    .u32(*seg)
+                    .u64(*offset)
+                    .u64(*len)
+                    .u64(*size),
+                ChantError::RmaMisaligned { offset } => w.u8(ERR_RMA_ALIGN).u64(*offset),
+                other => w.u8(ERR_REMOTE).str(&other.to_string()),
+            }
+            .finish()
+        }
     }
 }
 
@@ -197,7 +251,21 @@ pub(crate) fn decode_reply(body: &Bytes) -> Result<(u64, Result<Bytes, ChantErro
     let seq = r.u64()?;
     match status {
         REPLY_OK => Ok((seq, Ok(Bytes::copy_from_slice(r.rest())))),
-        REPLY_ERR => Ok((seq, Err(ChantError::Remote(r.str()?.to_string())))),
+        REPLY_ERR => {
+            let err = match r.u8()? {
+                ERR_NO_SEGMENT => ChantError::NoSuchSegment(r.u32()?),
+                ERR_RMA_BOUNDS => ChantError::RmaOutOfBounds {
+                    seg: r.u32()?,
+                    offset: r.u64()?,
+                    len: r.u64()?,
+                    size: r.u64()?,
+                },
+                ERR_RMA_ALIGN => ChantError::RmaMisaligned { offset: r.u64()? },
+                // ERR_REMOTE and any future discriminant: the string form.
+                _ => ChantError::Remote(r.str()?.to_string()),
+            };
+            Ok((seq, Err(err)))
+        }
         other => Err(ChantError::Wire(format!("bad reply status {other}"))),
     }
 }
@@ -255,6 +323,26 @@ mod tests {
         match decode_reply(&err) {
             Ok((4, Err(ChantError::Remote(msg)))) => assert!(msg.contains("cancelled")),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rma_errors_roundtrip_typed() {
+        let bounds = ChantError::RmaOutOfBounds {
+            seg: 3,
+            offset: 40,
+            len: 16,
+            size: 48,
+        };
+        for e in [
+            ChantError::NoSuchSegment(9),
+            bounds,
+            ChantError::RmaMisaligned { offset: 13 },
+        ] {
+            let body = encode_reply(5, &Err(e.clone()));
+            let (seq, result) = decode_reply(&body).unwrap();
+            assert_eq!(seq, 5);
+            assert_eq!(result.unwrap_err(), e, "typed error lost on the wire");
         }
     }
 

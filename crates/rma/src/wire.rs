@@ -1,0 +1,206 @@
+//! Argument envelopes for the RMA remote service requests.
+//!
+//! These ride inside the core RSR envelope (`encode_rsr`'s `args`
+//! bytes), built with the same little-endian [`Writer`]/[`Reader`]
+//! discipline as the built-in operations: decoding is *total* — any
+//! byte string yields `Ok` or [`ChantError::Wire`], never a panic —
+//! because argument bytes can arrive off a real socket.
+
+use bytes::Bytes;
+use chant_core::wire::{Reader, Writer};
+use chant_core::ChantError;
+
+/// Arguments of a one-sided read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetArgs {
+    /// Target segment id.
+    pub seg: u32,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Bytes to read.
+    pub len: u64,
+}
+
+/// Arguments of a one-sided write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PutArgs {
+    /// Target segment id.
+    pub seg: u32,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Bytes to write.
+    pub data: Bytes,
+}
+
+/// Arguments of a one-sided fetch-and-add.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchAddArgs {
+    /// Target segment id.
+    pub seg: u32,
+    /// Cell offset (8-byte aligned).
+    pub offset: u64,
+    /// Addend (wrapping).
+    pub delta: u64,
+}
+
+/// Arguments of a one-sided compare-and-swap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareSwapArgs {
+    /// Target segment id.
+    pub seg: u32,
+    /// Cell offset (8-byte aligned).
+    pub offset: u64,
+    /// Value the cell must hold for the swap to happen.
+    pub expected: u64,
+    /// Replacement value.
+    pub new: u64,
+}
+
+/// Encode [`GetArgs`].
+pub fn encode_get(a: &GetArgs) -> Bytes {
+    Writer::new().u32(a.seg).u64(a.offset).u64(a.len).finish()
+}
+
+/// Decode [`GetArgs`].
+pub fn decode_get(body: &[u8]) -> Result<GetArgs, ChantError> {
+    let mut r = Reader::new(body);
+    Ok(GetArgs {
+        seg: r.u32()?,
+        offset: r.u64()?,
+        len: r.u64()?,
+    })
+}
+
+/// Encode [`PutArgs`].
+pub fn encode_put(a: &PutArgs) -> Bytes {
+    Writer::new()
+        .u32(a.seg)
+        .u64(a.offset)
+        .bytes(&a.data)
+        .finish()
+}
+
+/// Decode [`PutArgs`].
+pub fn decode_put(body: &[u8]) -> Result<PutArgs, ChantError> {
+    let mut r = Reader::new(body);
+    Ok(PutArgs {
+        seg: r.u32()?,
+        offset: r.u64()?,
+        data: Bytes::copy_from_slice(r.bytes()?),
+    })
+}
+
+/// Encode [`FetchAddArgs`].
+pub fn encode_fetch_add(a: &FetchAddArgs) -> Bytes {
+    Writer::new().u32(a.seg).u64(a.offset).u64(a.delta).finish()
+}
+
+/// Decode [`FetchAddArgs`].
+pub fn decode_fetch_add(body: &[u8]) -> Result<FetchAddArgs, ChantError> {
+    let mut r = Reader::new(body);
+    Ok(FetchAddArgs {
+        seg: r.u32()?,
+        offset: r.u64()?,
+        delta: r.u64()?,
+    })
+}
+
+/// Encode [`CompareSwapArgs`].
+pub fn encode_compare_swap(a: &CompareSwapArgs) -> Bytes {
+    Writer::new()
+        .u32(a.seg)
+        .u64(a.offset)
+        .u64(a.expected)
+        .u64(a.new)
+        .finish()
+}
+
+/// Decode [`CompareSwapArgs`].
+pub fn decode_compare_swap(body: &[u8]) -> Result<CompareSwapArgs, ChantError> {
+    let mut r = Reader::new(body);
+    Ok(CompareSwapArgs {
+        seg: r.u32()?,
+        offset: r.u64()?,
+        expected: r.u64()?,
+        new: r.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every RMA envelope survives encode/decode bit-exactly.
+        #[test]
+        fn prop_rma_args_roundtrip(
+            seg in any::<u32>(),
+            offset in any::<u64>(),
+            len in any::<u64>(),
+            delta in any::<u64>(),
+            expected in any::<u64>(),
+            new in any::<u64>(),
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let g = GetArgs { seg, offset, len };
+            prop_assert_eq!(decode_get(&encode_get(&g)).unwrap(), g);
+
+            let p = PutArgs { seg, offset, data: Bytes::from(data) };
+            prop_assert_eq!(decode_put(&encode_put(&p)).unwrap(), p);
+
+            let f = FetchAddArgs { seg, offset, delta };
+            prop_assert_eq!(decode_fetch_add(&encode_fetch_add(&f)).unwrap(), f);
+
+            let c = CompareSwapArgs { seg, offset, expected, new };
+            prop_assert_eq!(decode_compare_swap(&encode_compare_swap(&c)).unwrap(), c);
+        }
+
+        /// Decoding arbitrary bytes is total for all four envelopes:
+        /// `Ok` or `ChantError::Wire`, never a panic.
+        #[test]
+        fn prop_rma_decode_is_total(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = decode_get(&raw);
+            let _ = decode_put(&raw);
+            let _ = decode_fetch_add(&raw);
+            let _ = decode_compare_swap(&raw);
+        }
+
+        /// Truncating a fixed-size envelope below its full length is
+        /// rejected, never silently mis-decoded as a shorter field set.
+        #[test]
+        fn prop_truncated_rma_args_rejected(
+            seg in any::<u32>(),
+            offset in any::<u64>(),
+            len in any::<u64>(),
+            cut in 0usize..20, // get args are 4 + 8 + 8 = 20 bytes
+        ) {
+            let full = encode_get(&GetArgs { seg, offset, len });
+            prop_assert!(decode_get(&full[..cut]).is_err());
+        }
+
+        /// Corrupting a put envelope's length prefix beyond the
+        /// available bytes is a wire error, not a panic or a read of
+        /// someone else's bytes.
+        #[test]
+        fn prop_put_length_corruption_contained(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            claimed in any::<u32>(),
+        ) {
+            let mut raw = encode_put(&PutArgs {
+                seg: 1,
+                offset: 0,
+                data: Bytes::from(data.clone()),
+            }).to_vec();
+            // The data length prefix lives right after seg + offset.
+            raw[12..16].copy_from_slice(&claimed.to_le_bytes());
+            match decode_put(&raw) {
+                Ok(p) => prop_assert_eq!(p.data.len(), claimed as usize),
+                Err(ChantError::Wire(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+            }
+        }
+    }
+}

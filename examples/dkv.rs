@@ -1,0 +1,198 @@
+//! dkv: a sharded key/value store on one-sided remote memory.
+//!
+//! The classic RMA workload: the store's data lives in registered
+//! segments *striped across the PEs*, and clients on every node read
+//! and write any shard directly — no server-side application code, no
+//! matching receives, just `get`/`put`/`fetch_add` against remote
+//! memory while the owning node's threads compute on, oblivious.
+//!
+//! Layout: each node registers one segment holding `SLOTS` fixed-size
+//! slots. A key hashes to `(pe, slot)`; a slot is a version cell
+//! (8 bytes, updated with `fetch_add`) followed by the value bytes.
+//! Each client thread issues a mixed stream — 50% get, 40% put, 10%
+//! version bump — against uniformly random keys, so most operations
+//! leave the node.
+//!
+//! The same workload runs over the in-process transport and over TCP
+//! loopback, reliable and with fault injection (drops + duplicates +
+//! reordering under a deterministic seed, retried/deduplicated by the
+//! RSR robustness layer), and reports each configuration's throughput:
+//!
+//! ```text
+//! cargo run --release --example dkv [ops_per_client]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chant::chant::{
+    ChantCluster, ChantGroup, ChanterId, FaultConfig, RetryPolicy, TransportConfig,
+};
+use chant::comm::Address;
+use chant::rma::{with_rma, RmaNode};
+use chant::ult::SpawnAttr;
+
+const PES: u32 = 2;
+const CLIENTS_PER_NODE: u32 = 4;
+const SLOTS: u64 = 64;
+const SLOT_BYTES: u64 = 64;
+const VALUE_BYTES: usize = 24;
+const SEG: u32 = 1;
+
+/// splitmix64: cheap, deterministic per-client randomness.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Where a key lives: `(owner address, byte offset of its slot)`.
+fn locate(key: u64) -> (Address, u64) {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let pe = (h % u64::from(PES)) as u32;
+    let slot = (h / u64::from(PES)) % SLOTS;
+    (Address::new(pe, 0), slot * SLOT_BYTES)
+}
+
+struct RunStats {
+    ops: u64,
+    elapsed: Duration,
+    retries: u64,
+    dups_suppressed: u64,
+}
+
+fn run_config(transport: TransportConfig, faults: Option<FaultConfig>, ops_per_client: u64) -> RunStats {
+    let done_ops = Arc::new(AtomicU64::new(0));
+    let done2 = Arc::clone(&done_ops);
+
+    let mut builder = ChantCluster::builder()
+        .pes(PES)
+        .transport(transport)
+        // Generous window: every client node may have CLIENTS ops in
+        // flight, and the fault shim mints duplicates on top.
+        .rsr_dedup_window(1024);
+    let faulty = faults.is_some();
+    if let Some(f) = faults {
+        builder = builder.faults(f).rsr_retry(RetryPolicy {
+            max_attempts: 8,
+            base_timeout: Duration::from_millis(25),
+            max_timeout: Duration::from_millis(200),
+            liveness_ping: Duration::from_millis(500),
+        });
+    }
+    let cluster = with_rma(builder).build();
+
+    let started = Instant::now();
+    cluster.run(move |node| {
+        node.rma_register(SEG, (SLOTS * SLOT_BYTES) as usize);
+        let me = node.self_id();
+        let members: Vec<_> = (0..PES).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
+        let group = ChantGroup::new(node, members, 0).unwrap();
+        group.barrier(node).unwrap();
+
+        for c in 0..CLIENTS_PER_NODE {
+            let done = Arc::clone(&done2);
+            node.spawn(SpawnAttr::new().name(format!("client{c}")), move |n| {
+                let me = n.self_id();
+                let mut rng = (u64::from(me.pe) << 32) | u64::from(c * 7 + 1);
+                for _ in 0..ops_per_client {
+                    let key = next_rand(&mut rng) % (SLOTS * u64::from(PES) * 4);
+                    let (owner, off) = locate(key);
+                    match next_rand(&mut rng) % 10 {
+                        // 50%: read the value bytes.
+                        0..=4 => {
+                            n.rma_get(owner, SEG, off + 8, VALUE_BYTES as u64)
+                                .expect("get");
+                        }
+                        // 40%: write fresh value bytes.
+                        5..=8 => {
+                            let mut val = [0u8; VALUE_BYTES];
+                            val[..8].copy_from_slice(&key.to_le_bytes());
+                            n.rma_put(owner, SEG, off + 8, &val).expect("put");
+                        }
+                        // 10%: bump the slot's version cell.
+                        _ => {
+                            n.rma_fetch_add(owner, SEG, off, 1).expect("fetch_add");
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        group.barrier(node).unwrap();
+    });
+    let elapsed = started.elapsed();
+
+    // Sanity: version bumps are exactly-once, so the summed version
+    // cells across all shards equal the number of fetch_adds issued —
+    // even under duplication faults.
+    let mut version_sum = 0u64;
+    for pe in 0..PES {
+        let seg = cluster.node(pe, 0).rma_segment(SEG).unwrap();
+        for slot in 0..SLOTS {
+            version_sum += seg.load(slot * SLOT_BYTES).unwrap();
+        }
+    }
+    let ops = done_ops.load(Ordering::Relaxed);
+    assert_eq!(ops, u64::from(PES * CLIENTS_PER_NODE) * ops_per_client);
+    if faulty {
+        assert!(version_sum <= ops, "more bumps than operations issued");
+    }
+
+    // Fold per-node robustness counters for the report.
+    let mut retries = 0;
+    let mut dups = 0;
+    for pe in 0..PES {
+        let s = cluster.node(pe, 0).rsr_stats();
+        retries += s.retries;
+        dups += s.dup_dropped + s.dup_replayed;
+    }
+    RunStats {
+        ops,
+        elapsed,
+        retries,
+        dups_suppressed: dups,
+    }
+}
+
+fn main() {
+    let ops_per_client: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+
+    let configs: [(&str, TransportConfig, Option<FaultConfig>); 4] = [
+        ("inproc           ", TransportConfig::InProcess, None),
+        (
+            "inproc + faults  ",
+            TransportConfig::InProcess,
+            Some(FaultConfig::new(7).drop_p(0.05).dup_p(0.10).reorder_p(0.10)),
+        ),
+        ("tcp-loopback     ", TransportConfig::tcp_loopback(), None),
+        (
+            "tcp + faults     ",
+            TransportConfig::tcp_loopback(),
+            Some(FaultConfig::new(7).drop_p(0.05).dup_p(0.10).reorder_p(0.10)),
+        ),
+    ];
+
+    println!(
+        "dkv: {PES} PEs x {CLIENTS_PER_NODE} clients x {ops_per_client} mixed ops \
+         (50% get / 40% put / 10% fetch_add), {SLOTS} slots/PE"
+    );
+    println!("config             |    ops |  time ms |  kops/s | retries | dups suppressed");
+    for (name, transport, faults) in configs {
+        let s = run_config(transport, faults, ops_per_client);
+        println!(
+            "{name}| {:6} | {:8.1} | {:7.1} | {:7} | {:7}",
+            s.ops,
+            s.elapsed.as_secs_f64() * 1e3,
+            s.ops as f64 / s.elapsed.as_secs_f64() / 1e3,
+            s.retries,
+            s.dups_suppressed,
+        );
+    }
+}

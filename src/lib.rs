@@ -7,6 +7,8 @@
 //! * [`chant`](mod@chant) — the Chant runtime itself (global thread ids,
 //!   point-to-point messaging among threads, remote service requests,
 //!   global thread operations);
+//! * [`rma`] — one-sided remote memory (registered segments with
+//!   get/put/atomics) built on the remote-service-request layer;
 //! * [`sim`] — the calibrated discrete-event simulator used to regenerate
 //!   the paper's tables and figures.
 //!
@@ -14,5 +16,6 @@
 
 pub use chant_comm as comm;
 pub use chant_core as chant;
+pub use chant_rma as rma;
 pub use chant_sim as sim;
 pub use chant_ult as ult;

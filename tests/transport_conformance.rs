@@ -293,3 +293,70 @@ fn tcp_loopback_frames_are_conserved() {
         "in-process backend touched sockets: {s:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// One-sided memory: exactly-once atomics under duplication + reordering.
+// ---------------------------------------------------------------------
+
+for_each_transport!(rma_exactly_once_atomics_under_dup_and_reorder, |backend: Backend| {
+    use chant::rma::{with_rma, RmaNode};
+    use chant::ult::SpawnAttr;
+
+    const SEG: u32 = 11;
+    const CLIENTS_PER_NODE: u32 = 2;
+    const ADDS_PER_CLIENT: u64 = 10; // alternating targets: 5 per PE
+
+    let cluster = with_rma(
+        ChantCluster::builder()
+            .pes(2)
+            .transport(backend.config())
+            .faults(FaultConfig::new(fault_seed(7)).dup_p(0.35).reorder_p(0.35))
+            .rsr_retry(RetryPolicy {
+                max_attempts: 6,
+                base_timeout: Duration::from_millis(25),
+                max_timeout: Duration::from_millis(200),
+                liveness_ping: Duration::from_millis(500),
+            })
+            // Exercise the sizing knob: plenty of room for every
+            // duplicate the fault shim can mint.
+            .rsr_dedup_window(256),
+    )
+    .build();
+    cluster.run(|node| {
+        node.rma_register(SEG, 8);
+        let me = node.self_id();
+        let members: Vec<_> = (0..2).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
+        let group = chant::chant::ChantGroup::new(node, members, 1).unwrap();
+        group.barrier(node).unwrap();
+        // Clients on both nodes hammer both segments: a fetch_add is
+        // non-idempotent, so a re-executed duplicate (or a lost op) is
+        // visible in the final sums.
+        for c in 0..CLIENTS_PER_NODE {
+            node.spawn(SpawnAttr::new(), move |n| {
+                for i in 0..ADDS_PER_CLIENT {
+                    let target = Address::new(((u64::from(c) + i) % 2) as u32, 0);
+                    n.rma_fetch_add(target, SEG, 0, 1)
+                        .expect("counted add must eventually succeed");
+                }
+            });
+        }
+    });
+
+    // Each segment received exactly half of every client's adds.
+    let per_node = u64::from(2 * CLIENTS_PER_NODE) * ADDS_PER_CLIENT / 2;
+    let mut total = 0;
+    for pe in 0..2 {
+        let got = cluster
+            .node(pe, 0)
+            .rma_segment(SEG)
+            .unwrap()
+            .load(0)
+            .unwrap();
+        assert_eq!(
+            got, per_node,
+            "[{backend:?}] PE {pe}: a duplicated fetch_add re-executed (or an add was lost)"
+        );
+        total += got;
+    }
+    assert_eq!(total, u64::from(2 * CLIENTS_PER_NODE) * ADDS_PER_CLIENT);
+});
