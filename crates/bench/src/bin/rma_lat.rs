@@ -6,19 +6,16 @@
 //! these numbers bound the store-access latency of anything built on
 //! the layer (the `dkv` example's shards, for instance). CI diffs the
 //! snapshot across commits to catch RMA-path regressions.
-
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+//!
+//! The measurement body lives in [`chant_bench::latency`], shared with
+//! `xport_scale` (which refreshes the same medians — plus the
+//! event-loop backend — into `BENCH_PR6.json`).
 
 use serde::Serialize;
 
+use chant_bench::latency::rma_standard_medians;
 use chant_bench::results_dir;
-use chant_comm::Address;
-use chant_core::{ChantCluster, ChantGroup, ChanterId, TransportConfig};
-use chant_rma::{with_rma, RmaNode};
-
-const SEG: u32 = 1;
-const SEG_BYTES: usize = 4096;
+use chant_core::TransportConfig;
 
 /// One measured operation flavour.
 #[derive(Serialize)]
@@ -33,40 +30,6 @@ struct Snapshot {
     benches: Vec<BenchLine>,
 }
 
-/// Median per-op nanoseconds of `op`, measured from PE 0 against a
-/// segment on PE 1, `n` times after `warmup` discarded iterations.
-fn measure<F>(transport: TransportConfig, n: usize, warmup: usize, op: F) -> f64
-where
-    F: Fn(&std::sync::Arc<chant_core::ChantNode>, Address, usize) + Send + Sync + 'static,
-{
-    let samples = Arc::new(Mutex::new(Vec::with_capacity(n)));
-    let s2 = Arc::clone(&samples);
-    let cluster = with_rma(ChantCluster::builder().pes(2).transport(transport)).build();
-    cluster.run(move |node| {
-        node.rma_register(SEG, SEG_BYTES);
-        let me = node.self_id();
-        let members: Vec<_> = (0..2).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
-        let group = ChantGroup::new(node, members, 0).unwrap();
-        group.barrier(node).unwrap();
-        if me.pe == 0 {
-            let target = Address::new(1, 0);
-            let mut mine = Vec::with_capacity(n);
-            for i in 0..warmup + n {
-                let t0 = Instant::now();
-                op(node, target, i);
-                if i >= warmup {
-                    mine.push(t0.elapsed().as_nanos() as u64);
-                }
-            }
-            *s2.lock().unwrap() = mine;
-        }
-        group.barrier(node).unwrap();
-    });
-    let mut v = samples.lock().unwrap().clone();
-    v.sort_unstable();
-    v[v.len() / 2] as f64
-}
-
 fn main() {
     const N: usize = 2000;
     const WARMUP: usize = 200;
@@ -76,41 +39,12 @@ fn main() {
         ("inproc", TransportConfig::InProcess),
         ("tcp", TransportConfig::tcp_loopback()),
     ] {
-        let t = transport.clone();
-        benches.push(BenchLine {
-            id: format!("rma/{tname}/get_8B"),
-            median_ns: measure(t, N, WARMUP, |n, dst, _| {
-                n.rma_get(dst, SEG, 0, 8).unwrap();
-            }),
-        });
-        let t = transport.clone();
-        benches.push(BenchLine {
-            id: format!("rma/{tname}/get_1KiB"),
-            median_ns: measure(t, N, WARMUP, |n, dst, _| {
-                n.rma_get(dst, SEG, 0, 1024).unwrap();
-            }),
-        });
-        let t = transport.clone();
-        benches.push(BenchLine {
-            id: format!("rma/{tname}/put_8B"),
-            median_ns: measure(t, N, WARMUP, |n, dst, i| {
-                n.rma_put(dst, SEG, 0, &(i as u64).to_le_bytes()).unwrap();
-            }),
-        });
-        let t = transport.clone();
-        benches.push(BenchLine {
-            id: format!("rma/{tname}/put_1KiB"),
-            median_ns: measure(t, N, WARMUP, |n, dst, _| {
-                n.rma_put(dst, SEG, 0, &[0xABu8; 1024]).unwrap();
-            }),
-        });
-        let t = transport.clone();
-        benches.push(BenchLine {
-            id: format!("rma/{tname}/fetch_add"),
-            median_ns: measure(t, N, WARMUP, |n, dst, _| {
-                n.rma_fetch_add(dst, SEG, 8, 1).unwrap();
-            }),
-        });
+        for (op, median_ns) in rma_standard_medians(transport, N, WARMUP) {
+            benches.push(BenchLine {
+                id: format!("rma/{tname}/{op}"),
+                median_ns,
+            });
+        }
     }
 
     for b in &benches {

@@ -1,0 +1,172 @@
+//! Shared latency measurement bodies: the two-PE ping-pong that
+//! `xport_lat` (console report) and `xport_scale` (JSON snapshot) both
+//! drive, and the raw-socket floor it is judged against.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use chant_comm::Address;
+use chant_core::{ChantCluster, ChantGroup, ChantNode, ChanterId, TransportConfig};
+use chant_rma::{with_rma, RmaNode};
+
+/// Median round-trip nanoseconds over `n` measured ping-pongs between
+/// two Chant nodes on transport `t`, after `warmup` discarded
+/// iterations. PE 0 times each round trip individually.
+pub fn median_rtt_ns(t: TransportConfig, n: usize, warmup: usize) -> f64 {
+    let samples = Arc::new(Mutex::new(Vec::with_capacity(n)));
+    let s2 = Arc::clone(&samples);
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(t)
+        .server(false)
+        .build();
+    cluster.run(move |node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        if me.pe == 0 {
+            let mut mine = Vec::with_capacity(n);
+            for i in 0..warmup + n {
+                let t0 = Instant::now();
+                node.send(peer, 1, &(i as u32).to_le_bytes()).unwrap();
+                node.recv_tag(2).unwrap();
+                if i >= warmup {
+                    mine.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            *s2.lock().unwrap() = mine;
+        } else {
+            for i in 0..warmup + n {
+                node.recv_tag(1).unwrap();
+                node.send(peer, 2, &(i as u32).to_le_bytes()).unwrap();
+            }
+        }
+    });
+    let mut v = samples.lock().unwrap().clone();
+    v.sort_unstable();
+    v[v.len() / 2] as f64
+}
+
+/// RMA registration constants shared by every RMA latency probe.
+const RMA_SEG: u32 = 1;
+const RMA_SEG_BYTES: usize = 4096;
+
+/// Median per-op nanoseconds of one-sided `op`, issued from PE 0
+/// against a registered segment on PE 1, `n` times after `warmup`
+/// discarded iterations. This is `rma_lat`'s measurement body, shared
+/// so `xport_scale` can refresh the same medians into its snapshot.
+pub fn rma_median_ns<F>(transport: TransportConfig, n: usize, warmup: usize, op: F) -> f64
+where
+    F: Fn(&Arc<ChantNode>, Address, usize) + Send + Sync + 'static,
+{
+    let samples = Arc::new(Mutex::new(Vec::with_capacity(n)));
+    let s2 = Arc::clone(&samples);
+    let cluster = with_rma(ChantCluster::builder().pes(2).transport(transport)).build();
+    cluster.run(move |node| {
+        node.rma_register(RMA_SEG, RMA_SEG_BYTES);
+        let me = node.self_id();
+        let members: Vec<_> = (0..2).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
+        let group = ChantGroup::new(node, members, 0).unwrap();
+        group.barrier(node).unwrap();
+        if me.pe == 0 {
+            let target = Address::new(1, 0);
+            let mut mine = Vec::with_capacity(n);
+            for i in 0..warmup + n {
+                let t0 = Instant::now();
+                op(node, target, i);
+                if i >= warmup {
+                    mine.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            *s2.lock().unwrap() = mine;
+        }
+        group.barrier(node).unwrap();
+    });
+    let mut v = samples.lock().unwrap().clone();
+    v.sort_unstable();
+    v[v.len() / 2] as f64
+}
+
+/// The standard five-op RMA latency sweep on `transport`:
+/// `(op name, median ns)` for get/put at two sizes plus `fetch_add`.
+pub fn rma_standard_medians(
+    transport: TransportConfig,
+    n: usize,
+    warmup: usize,
+) -> Vec<(&'static str, f64)> {
+    vec![
+        (
+            "get_8B",
+            rma_median_ns(transport.clone(), n, warmup, |nd, dst, _| {
+                nd.rma_get(dst, RMA_SEG, 0, 8).unwrap();
+            }),
+        ),
+        (
+            "get_1KiB",
+            rma_median_ns(transport.clone(), n, warmup, |nd, dst, _| {
+                nd.rma_get(dst, RMA_SEG, 0, 1024).unwrap();
+            }),
+        ),
+        (
+            "put_8B",
+            rma_median_ns(transport.clone(), n, warmup, |nd, dst, i| {
+                nd.rma_put(dst, RMA_SEG, 0, &(i as u64).to_le_bytes()).unwrap();
+            }),
+        ),
+        (
+            "put_1KiB",
+            rma_median_ns(transport.clone(), n, warmup, |nd, dst, _| {
+                nd.rma_put(dst, RMA_SEG, 0, &[0xABu8; 1024]).unwrap();
+            }),
+        ),
+        (
+            "fetch_add",
+            rma_median_ns(transport, n, warmup, |nd, dst, _| {
+                nd.rma_fetch_add(dst, RMA_SEG, 8, 1).unwrap();
+            }),
+        ),
+    ]
+}
+
+/// Median round-trip nanoseconds of a bare 32-byte echo over a loopback
+/// TCP socket pair (`TCP_NODELAY`, blocking I/O, one echo thread): the
+/// kernel + scheduler floor for any socket transport *on this machine*.
+///
+/// A socket backend cannot beat this number, so "how close to the
+/// floor" is the honest way to judge one — a fixed multiple of the
+/// in-process RTT says more about the host (CPU count, loopback stack)
+/// than about the transport. On the single-CPU containers this repo's
+/// benches usually run in, the floor alone exceeds 1.5× the in-process
+/// RTT.
+pub fn raw_tcp_floor_ns(n: usize, warmup: usize) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind floor listener");
+    let addr = listener.local_addr().unwrap();
+    let echo = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept floor peer");
+        s.set_nodelay(true).ok();
+        let mut buf = [0u8; 32];
+        // Echo until the client hangs up.
+        while s.read_exact(&mut buf).is_ok() {
+            if s.write_all(&buf).is_err() {
+                break;
+            }
+        }
+    });
+    let mut client = TcpStream::connect(addr).expect("dial floor listener");
+    client.set_nodelay(true).ok();
+    let mut buf = [0u8; 32];
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..warmup + n {
+        let t0 = Instant::now();
+        client.write_all(&buf).unwrap();
+        client.read_exact(&mut buf).unwrap();
+        if i >= warmup {
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    drop(client);
+    echo.join().expect("floor echo thread");
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}

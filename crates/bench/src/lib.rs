@@ -15,6 +15,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod latency;
 pub mod matching;
 
 /// The paper's published numbers, transcribed from the text.

@@ -30,7 +30,7 @@ fn free_ports(n: usize) -> Vec<u16> {
         .collect()
 }
 
-fn spawn_cluster(ports: &[u16]) -> Vec<Child> {
+fn spawn_cluster(ports: &[u16], backend: &str) -> Vec<Child> {
     let peers = ports
         .iter()
         .map(|p| format!("127.0.0.1:{p}"))
@@ -40,7 +40,7 @@ fn spawn_cluster(ports: &[u16]) -> Vec<Child> {
     (0..NODES)
         .map(|rank| {
             Command::new(env!("CARGO_BIN_EXE_xproc_node"))
-                .env("CHANT_TRANSPORT", "tcp")
+                .env("CHANT_TRANSPORT", backend)
                 .env("CHANT_RANK", rank.to_string())
                 .env("CHANT_PEERS", &peers)
                 .env("CHANT_FAULT_SEED", &seed)
@@ -92,9 +92,9 @@ fn join_all(mut children: Vec<Child>) -> Vec<(bool, String, String)> {
         .collect()
 }
 
-fn run_once() -> Result<(), String> {
+fn run_once(backend: &str) -> Result<(), String> {
     let ports = free_ports(NODES);
-    let children = spawn_cluster(&ports);
+    let children = spawn_cluster(&ports, backend);
     let results = join_all(children);
     for (rank, (ok, out, err)) in results.iter().enumerate() {
         if !ok {
@@ -116,8 +116,21 @@ fn run_once() -> Result<(), String> {
 fn four_process_tcp_cluster_runs_lossy_workload_exactly_once() {
     // One retry covers the (rare) case of a reserved port being raced
     // away between release and the child's bind.
-    if let Err(first) = run_once() {
+    if let Err(first) = run_once("tcp") {
         eprintln!("first attempt failed, retrying once:\n{first}");
-        run_once().expect("cross-process cluster failed twice");
+        run_once("tcp").expect("cross-process cluster failed twice");
+    }
+}
+
+/// The same four-process lossy workload over the event-loop backend:
+/// each process runs one poller thread for all its connections, and the
+/// per-rank fd-leak assertion in `xproc_node` now also covers the epoll
+/// and eventfd descriptors.
+#[cfg(target_os = "linux")]
+#[test]
+fn four_process_tcp_event_cluster_runs_lossy_workload_exactly_once() {
+    if let Err(first) = run_once("tcp-event") {
+        eprintln!("first attempt failed, retrying once:\n{first}");
+        run_once("tcp-event").expect("cross-process tcp-event cluster failed twice");
     }
 }

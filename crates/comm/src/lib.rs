@@ -67,7 +67,8 @@ pub use header::{kind, Address, CtxMatch, Header, RecvSpec, ANY_TAG};
 pub use profile::CommProfile;
 pub use stats::{CommStats, CommStatsSnapshot};
 pub use transport::{
-    decode_frame, encode_frame, DeliverError, DeliverySink, FrameError, TcpOptions, Transport,
+    decode_frame, encode_frame, encode_frame_into, DeliverError, DeliverySink, FrameError,
+    TcpOptions, Transport,
     TransportConfig, TransportStatsSnapshot, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
 };
 pub use world::CommWorld;

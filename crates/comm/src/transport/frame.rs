@@ -88,9 +88,19 @@ impl std::error::Error for FrameError {}
 /// Encode one message as a length-prefixed frame ready for a single
 /// stream write (prefix included).
 pub fn encode_frame(header: &Header, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + FRAME_HEADER_LEN + body.len());
+    encode_frame_into(header, body, &mut out);
+    out
+}
+
+/// Encode one message as a length-prefixed frame, appending to `out` —
+/// the allocation-free form of [`encode_frame`]. A transport that keeps
+/// a pool of cleared `Vec<u8>`s pays the frame allocation once per
+/// buffer, not once per message.
+pub fn encode_frame_into(header: &Header, body: &[u8], out: &mut Vec<u8>) {
     debug_assert_eq!(header.len as usize, body.len(), "header.len out of sync");
     let frame_len = (FRAME_HEADER_LEN + body.len()) as u32;
-    let mut out = Vec::with_capacity(4 + frame_len as usize);
+    out.reserve(4 + frame_len as usize);
     out.extend_from_slice(&frame_len.to_le_bytes());
     out.extend_from_slice(&FRAME_MAGIC);
     out.push(header.kind);
@@ -102,7 +112,6 @@ pub fn encode_frame(header: &Header, body: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&header.dst.process.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(body);
-    out
 }
 
 fn read_u32(buf: &[u8], at: usize) -> u32 {
@@ -260,6 +269,36 @@ mod tests {
             };
             let frame = encode_frame(&h, &body);
             let (h2, b2) = decode_frame(&frame[4..]).unwrap();
+            prop_assert_eq!(h2, h);
+            prop_assert_eq!(&b2[..], &body[..]);
+        }
+
+        /// `encode_frame_into` onto a dirty, pre-sized reused buffer is
+        /// byte-identical to a fresh `encode_frame`, and the appended
+        /// frame round-trips through `decode_frame` unchanged.
+        #[test]
+        fn prop_encode_into_matches_encode(
+            tag in 0i32..i32::MAX,
+            ctx in any::<u64>(),
+            kind in any::<u8>(),
+            src in any::<u64>(),
+            dst in any::<u64>(),
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+            residue in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let h = Header {
+                src: Address::new((src >> 32) as u32, src as u32),
+                dst: Address::new((dst >> 32) as u32, dst as u32),
+                tag, ctx, kind,
+                len: body.len() as u32,
+            };
+            let fresh = encode_frame(&h, &body);
+            // A pooled buffer arrives with stale capacity, cleared.
+            let mut reused = residue;
+            reused.clear();
+            encode_frame_into(&h, &body, &mut reused);
+            prop_assert_eq!(&reused, &fresh);
+            let (h2, b2) = decode_frame(&reused[4..]).unwrap();
             prop_assert_eq!(h2, h);
             prop_assert_eq!(&b2[..], &body[..]);
         }

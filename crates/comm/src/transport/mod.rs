@@ -25,16 +25,31 @@
 //!   endpoints and a chant message genuinely crosses address spaces —
 //!   the paper's "threads that talk to threads in other address
 //!   spaces", live.
+//! * **TCP, event-loop** ([`TransportConfig::TcpEvent`], Linux only):
+//!   the same wire format and topology, but every connection is driven
+//!   by a single epoll poller thread with nonblocking sockets,
+//!   same-peer send coalescing into vectored writes, pooled frame
+//!   buffers, and an adaptive spin-then-park progress loop — the
+//!   LCI-style nonblocking progress engine. Scales to hundreds of
+//!   peers on two threads where the legacy backend needs two per peer.
 
 mod frame;
+mod pool;
+#[cfg(target_os = "linux")]
+mod sys;
 mod tcp;
+#[cfg(target_os = "linux")]
+mod tcp_event;
 
 pub use frame::{
-    decode_frame, encode_frame, FrameError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+    decode_frame, encode_frame, encode_frame_into, FrameError, FRAME_HEADER_LEN, FRAME_MAGIC,
+    MAX_FRAME_LEN,
 };
 pub use tcp::TcpOptions;
 
 pub(crate) use tcp::TcpTransport;
+#[cfg(target_os = "linux")]
+pub(crate) use tcp_event::TcpEventTransport;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -68,6 +83,31 @@ pub trait Transport: Send + Sync {
     /// Tear down background threads and close any handles. Called once
     /// from world teardown; must be idempotent.
     fn shutdown(&self);
+
+    /// Opportunistically advance this transport's progress engine on the
+    /// calling thread (one nonblocking event-loop turn). Runtimes with
+    /// spinning schedulers call this from their idle loops so message
+    /// delivery rides an already-hot application thread instead of
+    /// waiting for a background poller to be scheduled. Must be cheap,
+    /// never block, and be safe from any thread. Returns whether any
+    /// progress was made. Default: no-op for transports whose delivery
+    /// is already synchronous or thread-driven.
+    fn try_progress(&self) -> bool {
+        false
+    }
+
+    /// Whether [`Transport::try_progress`] can actually do work here —
+    /// i.e. whether installing an idle-loop progress driver is worth a
+    /// virtual call per idle spin.
+    fn wants_progress_driver(&self) -> bool {
+        false
+    }
+
+    /// Notify the transport that application threads will call
+    /// [`Transport::try_progress`] from now on. A backend may demote its
+    /// own background poller to a backstop role (e.g. stop waking per
+    /// inbound frame) — callers must actually follow through and drive.
+    fn attach_progress_driver(&self) {}
 }
 
 /// Where a transport hands arriving messages back into the runtime: the
@@ -122,6 +162,10 @@ pub(crate) struct TransportStats {
     pub send_failures: AtomicU64,
     pub malformed_frames: AtomicU64,
     pub misrouted: AtomicU64,
+    pub coalesced_writes: AtomicU64,
+    pub coalesced_frames: AtomicU64,
+    pub partial_writes: AtomicU64,
+    pub wakeups: AtomicU64,
 }
 
 impl TransportStats {
@@ -147,6 +191,12 @@ impl TransportStats {
             send_failures: self.send_failures.load(Ordering::Relaxed),
             malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
             misrouted: self.misrouted.load(Ordering::Relaxed),
+            coalesced_writes: self.coalesced_writes.load(Ordering::Relaxed),
+            coalesced_frames: self.coalesced_frames.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            pool_hits: 0,
+            pool_misses: 0,
         }
     }
 }
@@ -176,6 +226,21 @@ pub struct TransportStatsSnapshot {
     /// Well-formed frames addressed to an endpoint this process does
     /// not host.
     pub misrouted: u64,
+    /// Vectored writes that carried more than one frame (event-loop
+    /// backend; batch depth = `coalesced_frames / coalesced_writes`).
+    pub coalesced_writes: u64,
+    /// Frames carried by those multi-frame vectored writes.
+    pub coalesced_frames: u64,
+    /// Writes the kernel cut short, resumed later from the saved
+    /// offset (event-loop backend).
+    pub partial_writes: u64,
+    /// Times the parked poller was woken through the eventfd
+    /// (event-loop backend; shutdown and stragglers only).
+    pub wakeups: u64,
+    /// Frame buffers served from the reuse pool (socket backends).
+    pub pool_hits: u64,
+    /// Frame buffers that had to be freshly allocated.
+    pub pool_misses: u64,
 }
 
 /// Which transport a world routes through, and how it is configured.
@@ -185,8 +250,13 @@ pub enum TransportConfig {
     /// for the conformance suite).
     #[default]
     InProcess,
-    /// Length-prefixed frames over TCP sockets (see [`TcpOptions`]).
+    /// Length-prefixed frames over TCP sockets, one blocking drain
+    /// thread per connection (see [`TcpOptions`]).
     Tcp(TcpOptions),
+    /// The same frames and topology, driven by a single epoll poller
+    /// thread with nonblocking sockets, send coalescing, and pooled
+    /// buffers (Linux only; see [`TcpOptions`]).
+    TcpEvent(TcpOptions),
 }
 
 impl TransportConfig {
@@ -198,32 +268,43 @@ impl TransportConfig {
         TransportConfig::Tcp(TcpOptions::default())
     }
 
+    /// A single-process event-loop TCP world: same loopback topology as
+    /// [`TransportConfig::tcp_loopback`], all sockets on one poller.
+    pub fn tcp_event_loopback() -> TransportConfig {
+        TransportConfig::TcpEvent(TcpOptions::default())
+    }
+
     /// Read the transport from the environment — the rank/port
     /// bootstrap shared by examples and the cross-process tests:
     ///
-    /// * `CHANT_TRANSPORT` — `tcp` selects TCP; anything else (or
-    ///   unset) selects in-process.
+    /// * `CHANT_TRANSPORT` — `tcp` selects the thread-per-peer TCP
+    ///   backend, `tcp-event` the event-loop backend; anything else
+    ///   (or unset) selects in-process.
     /// * `CHANT_RANK` — this OS process's PE index (multi-process mode;
     ///   omit for single-process loopback).
     /// * `CHANT_PEERS` — comma-separated `host:port` listen addresses,
     ///   one per PE in rank order (required when `CHANT_RANK` is set).
     pub fn from_env() -> TransportConfig {
-        match std::env::var("CHANT_TRANSPORT") {
-            Ok(v) if v.eq_ignore_ascii_case("tcp") => {
-                let rank = std::env::var("CHANT_RANK").ok().and_then(|s| s.parse().ok());
-                let peers = std::env::var("CHANT_PEERS")
-                    .map(|s| {
-                        s.split(',')
-                            .map(|p| p.trim().to_string())
-                            .filter(|p| !p.is_empty())
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                TransportConfig::Tcp(TcpOptions {
-                    rank,
-                    peers,
-                    ..TcpOptions::default()
+        let socket_opts = || {
+            let rank = std::env::var("CHANT_RANK").ok().and_then(|s| s.parse().ok());
+            let peers = std::env::var("CHANT_PEERS")
+                .map(|s| {
+                    s.split(',')
+                        .map(|p| p.trim().to_string())
+                        .filter(|p| !p.is_empty())
+                        .collect()
                 })
+                .unwrap_or_default();
+            TcpOptions {
+                rank,
+                peers,
+                ..TcpOptions::default()
+            }
+        };
+        match std::env::var("CHANT_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => TransportConfig::Tcp(socket_opts()),
+            Ok(v) if v.eq_ignore_ascii_case("tcp-event") || v.eq_ignore_ascii_case("tcp_event") => {
+                TransportConfig::TcpEvent(socket_opts())
             }
             _ => TransportConfig::InProcess,
         }
@@ -233,7 +314,8 @@ impl TransportConfig {
     /// one PE in multi-process mode, all of them otherwise.
     pub fn hosted_pes(&self, pes: u32) -> std::ops::Range<u32> {
         match self {
-            TransportConfig::Tcp(TcpOptions { rank: Some(r), .. }) => {
+            TransportConfig::Tcp(TcpOptions { rank: Some(r), .. })
+            | TransportConfig::TcpEvent(TcpOptions { rank: Some(r), .. }) => {
                 assert!(
                     *r < pes,
                     "CHANT_RANK {r} outside the world ({pes} PEs)"
@@ -295,6 +377,23 @@ pub(crate) fn build_transport(
         TransportConfig::InProcess => Arc::new(InProcessTransport::new(sink)),
         TransportConfig::Tcp(opts) => TcpTransport::start(opts.clone(), pes, sink)
             .unwrap_or_else(|e| panic!("failed to start TCP transport: {e}")),
+        #[cfg(target_os = "linux")]
+        TransportConfig::TcpEvent(opts) => TcpEventTransport::start(opts.clone(), pes, sink)
+            .unwrap_or_else(|e| panic!("failed to start event-loop TCP transport: {e}")),
+        #[cfg(not(target_os = "linux"))]
+        TransportConfig::TcpEvent(_) => {
+            panic!("the tcp-event transport requires Linux (epoll/eventfd)")
+        }
     }
 }
+
+/// Trace-gated counter shared by the socket backends (compiled out
+/// entirely without the `trace` feature).
+#[cfg(feature = "trace")]
+pub(crate) fn emit_counter(name: &'static str) {
+    chant_obs::registry().counter(name).incr();
+}
+
+#[cfg(not(feature = "trace"))]
+pub(crate) fn emit_counter(_name: &'static str) {}
 

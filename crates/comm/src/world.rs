@@ -14,7 +14,7 @@
 //! [`TransportConfig::Tcp`]. Everything upstream of that hop (fault
 //! shim, latency line, matching, statistics) is transport-agnostic.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Once, OnceLock};
 
 use bytes::Bytes;
 
@@ -39,6 +39,9 @@ pub(crate) struct WorldInner {
     /// into) a half-constructed world. Always populated by the time any
     /// message is routed.
     transport: OnceLock<Arc<dyn Transport>>,
+    /// Guards teardown so [`CommWorld::shutdown`] and `Drop` compose:
+    /// whichever runs first does the work, the other is a no-op.
+    shutdown: Once,
 }
 
 impl WorldInner {
@@ -83,19 +86,38 @@ impl WorldInner {
     }
 }
 
+impl WorldInner {
+    /// Stop the pipeline and join the transport's threads. Idempotent.
+    ///
+    /// This exists separately from `Drop` because drop timing is
+    /// refcount-driven: the fault shim's and delay line's deliverer
+    /// threads hold transient upgrades of their `Weak<WorldInner>`, so
+    /// the *last* strong reference can die on one of those threads — in
+    /// which case `shutdown` skips joining the caller's own thread and
+    /// socket fds linger until it exits. An owner that needs teardown
+    /// to be complete when its drop returns (a `ChantCluster`, a test
+    /// asserting no fd leaks) calls this explicitly from its own thread
+    /// instead.
+    pub(crate) fn shutdown_now(&self) {
+        self.shutdown.call_once(|| {
+            // Upstream stages first, so nothing new reaches the
+            // transport while it tears down.
+            if let Some(shim) = &self.faults {
+                shim.shutdown();
+            }
+            if let Some(line) = &self.delay {
+                line.shutdown();
+            }
+            if let Some(t) = self.transport.get() {
+                t.shutdown();
+            }
+        });
+    }
+}
+
 impl Drop for WorldInner {
     fn drop(&mut self) {
-        // Upstream stages first, so nothing new reaches the transport
-        // while it tears down.
-        if let Some(shim) = &self.faults {
-            shim.shutdown();
-        }
-        if let Some(line) = &self.delay {
-            line.shutdown();
-        }
-        if let Some(t) = self.transport.get() {
-            t.shutdown();
-        }
+        self.shutdown_now();
     }
 }
 
@@ -215,6 +237,7 @@ impl CommWorld {
                 delay: model.map(|m| DelayLine::start(m, weak.clone())),
                 faults: faults.map(|c| FaultInjector::start(c, weak.clone())),
                 transport: OnceLock::new(),
+                shutdown: Once::new(),
             }
         });
         // Install the transport only now, on the completed world: a TCP
@@ -253,6 +276,36 @@ impl CommWorld {
     /// failures — see [`TransportStatsSnapshot`]).
     pub fn transport_stats(&self) -> TransportStatsSnapshot {
         self.inner.transport().stats()
+    }
+
+    /// A callable that opportunistically drives the transport's progress
+    /// engine from the calling thread, or `None` for backends whose
+    /// delivery needs no external driver (in-process, thread-per-
+    /// connection). Schedulers with spinning idle loops install this so
+    /// socket completions are reaped by an already-running application
+    /// thread instead of waiting for the transport's background poller
+    /// to be scheduled. Safe to call from any thread at any time,
+    /// including after shutdown (it becomes a no-op).
+    pub fn progress_fn(&self) -> Option<Arc<dyn Fn() -> bool + Send + Sync>> {
+        let t = Arc::clone(self.inner.transport());
+        if !t.wants_progress_driver() {
+            return None;
+        }
+        t.attach_progress_driver();
+        Some(Arc::new(move || t.try_progress()))
+    }
+
+    /// Tear the world down *now*, on the calling thread: stop the fault
+    /// shim and delay line, close every transport socket, and join the
+    /// transport's background threads. Idempotent, and implied by
+    /// dropping the last `CommWorld` clone — but drop timing is
+    /// refcount-driven (a background deliverer's transient upgrade can
+    /// be the last reference), so callers that need teardown to be
+    /// *complete* when this returns — before sampling `/proc/self/fd`,
+    /// say — call it explicitly. Messages routed afterwards are
+    /// silently dropped.
+    pub fn shutdown(&self) {
+        self.inner.shutdown_now();
     }
 
     /// The contiguous range of PEs whose endpoints live in this OS

@@ -286,6 +286,10 @@ impl ClusterBuilder {
 }
 
 /// A set of Chant nodes sharing one communication world.
+///
+/// Dropping the cluster tears the world down synchronously: by the time
+/// `drop` returns, transport sockets are closed and its background
+/// threads joined (see [`CommWorld::shutdown`]).
 pub struct ChantCluster {
     world: CommWorld,
     /// First PE hosted here (nonzero only in multi-process TCP mode).
@@ -459,6 +463,16 @@ impl ChantCluster {
             }
         }
         report
+    }
+}
+
+impl Drop for ChantCluster {
+    fn drop(&mut self) {
+        // Tear the world down from *this* thread rather than waiting for
+        // the last Arc to die: a background deliverer's transient
+        // reference can otherwise end up running the teardown
+        // asynchronously, leaving sockets open after drop returns.
+        self.world.shutdown();
     }
 }
 

@@ -98,6 +98,14 @@ impl ChantNode {
         let vp = Vp::new(chant_ult::VpConfig::named(format!("pe{pe}.{process}")));
         let endpoint = world.endpoint(Address::new(pe, process));
         let engine = PollEngine::install(Arc::clone(&vp), policy);
+        // Socket-backed worlds: drive the transport's event loop from
+        // this VP's idle spins, so inbound frames are reaped by the
+        // application thread that is waiting for them (the scheduler-
+        // polls idea applied to the transport itself). In-process worlds
+        // return None and pay nothing.
+        if let Some(progress) = world.progress_fn() {
+            vp.install_hook(Arc::new(crate::poll::TransportProgressHook::new(progress)));
+        }
         Arc::new(ChantNode {
             pe,
             process,

@@ -260,6 +260,70 @@ impl SchedulerHook for PsHook {
     fn at_schedule_point(&self) {}
 }
 
+/// Drives a socket transport's progress engine from the VP's idle loop.
+///
+/// The paper's scheduler-polls policies test *matching-table* completion
+/// at schedule points; this hook extends the same idea one layer down:
+/// when the VP has nothing runnable, the idle spin runs one nonblocking
+/// event-loop turn on the transport, so the frame that will unblock a
+/// waiting thread is read off the socket by the thread that wants it —
+/// no background-poller handoff on the critical path. Only the idle
+/// callback is used: dispatch-path schedule points stay syscall-free.
+pub(crate) struct TransportProgressHook {
+    progress: Arc<dyn Fn() -> bool + Send + Sync>,
+    /// Idle calls to skip before the next progress attempt (current
+    /// backoff position), and the countdown within that interval. When
+    /// delivery is happening elsewhere — typically on the *sender's*
+    /// thread via the transport's post-send progress hook — every idle
+    /// probe here comes back empty, and probing (a syscall) every spin
+    /// only slows the scheduler's handoff to the next runnable thread.
+    /// Probes that find nothing double the interval up to a cap; a probe
+    /// that makes progress snaps it back to every-spin.
+    interval: AtomicUsize,
+    skip: AtomicUsize,
+}
+
+/// Upper bound on consecutive idle spins skipped between transport
+/// probes (~tens of microseconds of added latency worst case, only on a
+/// VP whose traffic is not being progressed by anyone else).
+const PROGRESS_BACKOFF_MAX: usize = 64;
+
+impl TransportProgressHook {
+    pub(crate) fn new(progress: Arc<dyn Fn() -> bool + Send + Sync>) -> TransportProgressHook {
+        TransportProgressHook {
+            progress,
+            interval: AtomicUsize::new(1),
+            skip: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SchedulerHook for TransportProgressHook {
+    fn at_schedule_point(&self) {}
+
+    fn wants_dispatch_check(&self) -> bool {
+        false
+    }
+
+    fn on_idle(&self) {
+        // Single-VP counters: on_idle is only ever called by the thread
+        // holding this VP's scheduling baton, so relaxed ordering and
+        // a load/store pair (not RMW) are enough.
+        let skip = self.skip.load(Ordering::Relaxed);
+        if skip > 0 {
+            self.skip.store(skip - 1, Ordering::Relaxed);
+            return;
+        }
+        if (self.progress)() {
+            self.interval.store(1, Ordering::Relaxed);
+        } else {
+            let next = (self.interval.load(Ordering::Relaxed) * 2).min(PROGRESS_BACKOFF_MAX);
+            self.interval.store(next, Ordering::Relaxed);
+            self.skip.store(next - 1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Per-node polling machinery: installs the right scheduler hooks for a
 /// policy and implements the blocking-receive wait loops.
 pub(crate) struct PollEngine {

@@ -81,6 +81,16 @@ pub trait SchedulerHook: Send + Sync {
     fn wants_dispatch_check(&self) -> bool {
         true
     }
+
+    /// Called once per *idle* spin — a schedule point that found nothing
+    /// runnable while live threads remain blocked. This is where a
+    /// communication runtime drives its network progress engine from the
+    /// scheduler (the paper's "scheduler polls" idea applied to the
+    /// transport itself): the VP has nothing better to do, so it reaps
+    /// socket completions that may unblock one of its threads. Never
+    /// called on the dispatch hot path, so an implementation may make a
+    /// syscall. Default: nothing.
+    fn on_idle(&self) {}
 }
 
 /// A no-op hook, useful in tests and as a default.

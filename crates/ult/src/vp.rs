@@ -664,6 +664,12 @@ impl Vp {
             }
             empty_rounds += 1;
             VpStats::bump(&self.stats.idle_spins);
+            // Idle hook: let installed hooks use the otherwise-wasted
+            // spin to make external progress (e.g. drive a transport's
+            // event loop) before we test the ready queue again.
+            for h in hooks.iter() {
+                h.on_idle();
+            }
             // One Idle event per idle *period*, not per spin: the spin
             // loop would otherwise flood the ring while waiting.
             #[cfg(feature = "trace")]
