@@ -119,10 +119,29 @@ fn write_snapshot(sides: &BTreeMap<String, BTreeMap<String, f64>>) {
         root.insert("ratio".to_string(), side_obj(&per_id));
         root.insert("geomean_ratio".to_string(), f(geomean));
     }
-    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize snapshot");
+    let json = serde_json::to_string_pretty(&Value::Object(root.clone())).expect("serialize snapshot");
     let path = snapshot_path();
     std::fs::write(&path, json + "\n").expect("write snapshot");
     println!("wrote {}", path.display());
+
+    // PR 7 keeps the wire-context overhead numbers next to the
+    // merge-tool timing (the `trace_merge` bin writes the
+    // "trace_merge" key of the same file) — one snapshot per PR.
+    root.remove("snapshot");
+    let pr7 = results_dir().join("BENCH_PR7.json");
+    let mut pr7_root = std::fs::read_to_string(&pr7)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+        .and_then(|v| match v {
+            Value::Object(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    pr7_root.insert("snapshot".to_string(), Value::String("BENCH_PR7".to_string()));
+    pr7_root.insert("obs_overhead".to_string(), Value::Object(root));
+    let json = serde_json::to_string_pretty(&Value::Object(pr7_root)).expect("serialize snapshot");
+    std::fs::write(&pr7, json + "\n").expect("write snapshot");
+    println!("wrote {}", pr7.display());
 }
 
 fn main() {

@@ -22,6 +22,13 @@
 //!    open (`/proc/self/fd`), i.e. the transport leaked nothing;
 //!
 //! then prints `XPROC-OK rank=<r> ops=<n>` for the parent to assert on.
+//!
+//! Under `--features trace` with `CHANT_TRACE_OUT=<path>` set, the rank
+//! additionally installs the tracer before building its cluster, runs a
+//! PING-piggybacked clock sync against rank 0 after the workload, and
+//! writes a self-describing per-process Perfetto export (rank + clock
+//! offset embedded) that `trace_merge` stitches into one cluster
+//! timeline.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -73,6 +80,20 @@ fn main() {
     let seed = env_u64("CHANT_FAULT_SEED", 42);
     let baseline_fds = open_socket_fds();
 
+    // Tracing must be live before the cluster exists: lanes register at
+    // component construction.
+    #[cfg(feature = "trace")]
+    let trace_out = std::env::var("CHANT_TRACE_OUT").ok();
+    #[cfg(feature = "trace")]
+    if trace_out.is_some() {
+        chant_obs::tracer::install();
+    }
+    #[cfg(feature = "trace")]
+    let clock_est: Arc<std::sync::Mutex<Option<chant_obs::ClockEstimate>>> =
+        Arc::new(std::sync::Mutex::new(None));
+    #[cfg(feature = "trace")]
+    let clock_est2 = Arc::clone(&clock_est);
+
     // Non-idempotent by design: every duplicate execution is visible.
     let counter = Arc::new(AtomicU32::new(0));
     let c2 = Arc::clone(&counter);
@@ -107,6 +128,18 @@ fn main() {
                 me.pe
             );
         }
+        // Clock-sync against rank 0 while its server thread is still
+        // alive (the shutdown barrier has not run yet). Rank 0 is its
+        // own reference: identity offset.
+        #[cfg(feature = "trace")]
+        {
+            let est = if me.pe == 0 {
+                Some(chant_obs::ClockEstimate::identity())
+            } else {
+                node.clock_sync(chant_core::ChanterId::new(0, 0, 0).address(), 8)
+            };
+            *clock_est2.lock().unwrap() = est;
+        }
     });
 
     // Exactly-once: the left neighbour's ops each ran here exactly once.
@@ -121,6 +154,22 @@ fn main() {
         report.transport
     );
     let retries = report.nodes.iter().map(|n| n.rsr.retries).sum::<u64>();
+
+    // Export this process's slice of the cluster timeline while the
+    // cluster (and so every registered lane handle) is still alive.
+    #[cfg(feature = "trace")]
+    if let Some(path) = trace_out {
+        let est = clock_est
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(chant_obs::ClockEstimate::identity);
+        let lanes = chant_obs::tracer::drain();
+        let value = chant_obs::merge::process_trace_value(rank, &lanes, &est);
+        let json = serde_json::to_string(&value).expect("serialize process trace");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("rank {rank}: write {path}: {e}"));
+    }
 
     // Tear the cluster down, then prove the transport closed everything:
     // listener, outbound connections, accepted connections. Cluster drop

@@ -193,6 +193,8 @@ mod tests {
                     ctx: 0,
                     kind: 0,
                     len: 0,
+                    #[cfg(feature = "trace")]
+                    trace: 0,
                 },
                 body: Bytes::new(),
             })

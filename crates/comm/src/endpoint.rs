@@ -311,12 +311,21 @@ impl Endpoint {
             ctx,
             kind,
             len: body.len() as u32,
+            #[cfg(feature = "trace")]
+            trace: self.obs.as_ref().map_or(0, |o| o.next_trace_id()),
         };
         CommStats::bump(&self.stats.sends);
         CommStats::add(&self.stats.bytes_sent, body.len() as u64);
         #[cfg(feature = "trace")]
         if let Some(o) = &self.obs {
             o.lane.emit(chant_obs::Event::Send { to: dst.pe, tag });
+            if header.trace != 0 {
+                o.lane.emit(chant_obs::Event::MsgSend {
+                    to: dst.pe,
+                    tag,
+                    id: header.trace,
+                });
+            }
         }
         world.route(header, body);
         SendHandle { complete: true }
@@ -421,6 +430,16 @@ impl Endpoint {
     pub(crate) fn deliver(&self, header: Header, body: Bytes) {
         debug_assert_eq!(header.dst, self.addr, "misrouted message");
         debug_assert_ne!(header.tag, ANY_TAG, "wildcard tag in a sent header");
+        #[cfg(feature = "trace")]
+        if let Some(o) = &self.obs {
+            if header.trace != 0 {
+                o.lane.emit(chant_obs::Event::MsgRecv {
+                    from: header.src.pe,
+                    tag: header.tag,
+                    id: header.trace,
+                });
+            }
+        }
         let mut inner = self.inner.lock();
         if let Some((key, index)) = inner.find_posted(&header) {
             let posted = inner.take_posted(key, index);

@@ -261,6 +261,10 @@ pub(crate) struct FaultInjector {
     stats: Arc<FaultStats>,
     state: Mutex<InjectorState>,
     cv: Condvar,
+    /// Trace lane for annotated fault events carrying each victim's
+    /// wire-level trace id; `None` when no tracer was installed.
+    #[cfg(feature = "trace")]
+    lane: Option<chant_obs::LaneHandle>,
 }
 
 impl FaultInjector {
@@ -277,6 +281,8 @@ impl FaultInjector {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            #[cfg(feature = "trace")]
+            lane: chant_obs::tracer::register_lane("faults"),
         });
         let inj2 = Arc::clone(&inj);
         std::thread::Builder::new()
@@ -384,14 +390,19 @@ impl FaultInjector {
     #[cfg(feature = "trace")]
     fn emit(&self, kind: FaultKind, header: &Header) {
         let reg = chant_obs::registry();
-        let name = match kind {
-            FaultKind::Dropped => "comm.fault.dropped",
-            FaultKind::Duplicated => "comm.fault.duplicated",
-            FaultKind::Delayed => "comm.fault.delayed",
-            FaultKind::Reordered => "comm.fault.reordered",
+        let (name, obs_kind) = match kind {
+            FaultKind::Dropped => ("comm.fault.dropped", chant_obs::FaultKind::Drop),
+            FaultKind::Duplicated => ("comm.fault.duplicated", chant_obs::FaultKind::Duplicate),
+            FaultKind::Delayed => ("comm.fault.delayed", chant_obs::FaultKind::Delay),
+            FaultKind::Reordered => ("comm.fault.reordered", chant_obs::FaultKind::Reorder),
         };
         reg.counter(name).incr();
-        let _ = header;
+        if let Some(lane) = &self.lane {
+            lane.emit(chant_obs::Event::Fault {
+                kind: obs_kind,
+                id: header.trace_id(),
+            });
+        }
     }
 
     #[cfg(not(feature = "trace"))]

@@ -233,6 +233,8 @@ mod tests {
             ctx: 0,
             kind: kind::DATA,
             len,
+            #[cfg(feature = "trace")]
+            trace: 0,
         }
     }
 

@@ -67,6 +67,31 @@ pub struct Header {
     pub kind: u8,
     /// Body length in bytes.
     pub len: u32,
+    /// Wire-level trace id: `(origin_pe, seq)` packed per
+    /// `chant_obs::trace_id`, allocated at `isend` and carried through
+    /// every hop (frame codec included) so the per-process traces of a
+    /// cluster can be causally stitched. `0` means untraced (no tracer
+    /// installed when the message was sent). Exists only under the
+    /// `trace` feature: the default build's header — and wire format —
+    /// is byte-identical to the untraced runtime.
+    #[cfg(feature = "trace")]
+    pub trace: u64,
+}
+
+impl Header {
+    /// The wire-level trace id, `0` when untraced or compiled out.
+    /// Feature-independent accessor so shared code paths need no cfg.
+    #[inline]
+    pub fn trace_id(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.trace
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
 }
 
 /// How a receive spec constrains the header's context field.
@@ -193,6 +218,8 @@ mod tests {
             ctx,
             kind: k,
             len: 0,
+            #[cfg(feature = "trace")]
+            trace: 0,
         }
     }
 

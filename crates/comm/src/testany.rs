@@ -184,6 +184,8 @@ mod tests {
             ctx: 0,
             kind: kind::DATA,
             len: 0,
+            #[cfg(feature = "trace")]
+            trace: 0,
         }
     }
 

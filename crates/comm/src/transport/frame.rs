@@ -20,8 +20,17 @@
 //! u32  src.pe   u32 src.process
 //! u32  dst.pe   u32 dst.process
 //! u32  body length   (must equal frame length - FRAME_HEADER_LEN)
+//! u64  trace id      (only in `trace`-feature builds, magic "CHTt")
 //! [..] body
 //! ```
+//!
+//! Under the `trace` cargo feature the header gains a trailing 8-byte
+//! wire-level trace id and the magic changes to `CHTt`, so a traced
+//! build never silently misparses an untraced peer's stream (mixing
+//! builds in one cluster fails fast as `BadMagic`). The default build
+//! compiles the extra field out entirely — its frames are
+//! byte-identical to the pre-tracing wire format, which the golden
+//! layout test below pins.
 //!
 //! Decoding is total: malformed input yields a [`FrameError`], never a
 //! panic — the same rule PR 3 imposed on malformed RSR envelopes. A
@@ -33,10 +42,19 @@ use bytes::Bytes;
 use crate::header::{Address, Header};
 
 /// Magic + version tag opening every frame.
+#[cfg(not(feature = "trace"))]
 pub const FRAME_MAGIC: [u8; 4] = *b"CHT1";
+/// Magic + version tag opening every frame (traced wire format).
+#[cfg(feature = "trace")]
+pub const FRAME_MAGIC: [u8; 4] = *b"CHTt";
 
 /// Fixed bytes between the length prefix and the body.
+#[cfg(not(feature = "trace"))]
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 16 + 4;
+/// Fixed bytes between the length prefix and the body (traced wire
+/// format: +8 for the trace id).
+#[cfg(feature = "trace")]
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 16 + 4 + 8;
 
 /// Hard ceiling on one frame's post-prefix length; anything larger is
 /// treated as framing corruption rather than an allocation request.
@@ -111,6 +129,8 @@ pub fn encode_frame_into(header: &Header, body: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&header.dst.pe.to_le_bytes());
     out.extend_from_slice(&header.dst.process.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    #[cfg(feature = "trace")]
+    out.extend_from_slice(&header.trace.to_le_bytes());
     out.extend_from_slice(body);
 }
 
@@ -146,6 +166,8 @@ pub fn decode_frame(payload: &[u8]) -> Result<(Header, Bytes), FrameError> {
     let src = Address::new(read_u32(payload, 17), read_u32(payload, 21));
     let dst = Address::new(read_u32(payload, 25), read_u32(payload, 29));
     let len = read_u32(payload, 33);
+    #[cfg(feature = "trace")]
+    let trace = u64::from_le_bytes(payload[37..45].try_into().expect("8 bytes"));
     let body = &payload[FRAME_HEADER_LEN..];
     if len as usize != body.len() {
         return Err(FrameError::LengthMismatch {
@@ -161,6 +183,8 @@ pub fn decode_frame(payload: &[u8]) -> Result<(Header, Bytes), FrameError> {
             ctx,
             kind,
             len,
+            #[cfg(feature = "trace")]
+            trace,
         },
         Bytes::from(body.to_vec()),
     ))
@@ -179,6 +203,8 @@ mod tests {
             ctx,
             kind,
             len,
+            #[cfg(feature = "trace")]
+            trace: ctx.wrapping_add(0x77),
         }
     }
 
@@ -248,6 +274,74 @@ mod tests {
         ));
     }
 
+    /// Pins the default-build wire format to the exact pre-tracing byte
+    /// layout: length prefix, "CHT1", kind, tag, ctx, src, dst, body
+    /// length, body — nothing else. A traced build must change the
+    /// magic, never this layout.
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn golden_untraced_layout_is_pinned() {
+        let h = Header {
+            src: Address::new(0x0102_0304, 0x0506_0708),
+            dst: Address::new(0x090A_0B0C, 0x0D0E_0F10),
+            tag: 0x1122_3344,
+            ctx: 0xA1B2_C3D4_E5F6_0718,
+            kind: 2,
+            len: 3,
+        };
+        let frame = encode_frame(&h, b"abc");
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&(37u32 + 3).to_le_bytes());
+        expect.extend_from_slice(b"CHT1");
+        expect.push(2);
+        expect.extend_from_slice(&0x1122_3344i32.to_le_bytes());
+        expect.extend_from_slice(&0xA1B2_C3D4_E5F6_0718u64.to_le_bytes());
+        expect.extend_from_slice(&0x0102_0304u32.to_le_bytes());
+        expect.extend_from_slice(&0x0506_0708u32.to_le_bytes());
+        expect.extend_from_slice(&0x090A_0B0Cu32.to_le_bytes());
+        expect.extend_from_slice(&0x0D0E_0F10u32.to_le_bytes());
+        expect.extend_from_slice(&3u32.to_le_bytes());
+        expect.extend_from_slice(b"abc");
+        assert_eq!(frame, expect);
+    }
+
+    /// The traced wire format is exactly the untraced one plus a
+    /// trailing 8-byte trace id after the body-length field, under a
+    /// distinct magic so mixed clusters fail fast instead of
+    /// misparsing each other.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_layout_extends_untraced_by_trace_id() {
+        assert_eq!(FRAME_MAGIC, *b"CHTt");
+        assert_eq!(FRAME_HEADER_LEN, 37 + 8);
+        let h = Header {
+            src: Address::new(1, 2),
+            dst: Address::new(3, 4),
+            tag: 5,
+            ctx: 6,
+            kind: 0,
+            len: 3,
+            trace: 0x0001_0000_0000_002A, // pe 1, seq 42
+        };
+        let frame = encode_frame(&h, b"abc");
+        assert_eq!(frame.len(), 4 + FRAME_HEADER_LEN + 3);
+        // Trace id sits after the body-length field, before the body.
+        assert_eq!(
+            u64::from_le_bytes(frame[41..49].try_into().unwrap()),
+            h.trace
+        );
+        let (h2, _) = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(h2.trace, h.trace);
+        assert_eq!(h2.trace_id(), h.trace);
+        // An untraced ("CHT1") frame is rejected up front.
+        let mut untraced = frame.clone();
+        untraced[4..8].copy_from_slice(b"CHT1");
+        assert!(matches!(
+            decode_frame(&untraced[4..]),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -266,6 +360,8 @@ mod tests {
                 dst: Address::new(dst_pe, dst_pr),
                 tag, ctx, kind,
                 len: body.len() as u32,
+                #[cfg(feature = "trace")]
+                trace: ctx ^ u64::from(src_pe),
             };
             let frame = encode_frame(&h, &body);
             let (h2, b2) = decode_frame(&frame[4..]).unwrap();
@@ -291,6 +387,8 @@ mod tests {
                 dst: Address::new((dst >> 32) as u32, dst as u32),
                 tag, ctx, kind,
                 len: body.len() as u32,
+                #[cfg(feature = "trace")]
+                trace: ctx.rotate_left(7) ^ dst,
             };
             let fresh = encode_frame(&h, &body);
             // A pooled buffer arrives with stale capacity, cleared.
@@ -326,6 +424,8 @@ mod tests {
                 ctx: 0xABCD,
                 kind: 1,
                 len: body.len() as u32,
+                #[cfg(feature = "trace")]
+                trace: 0x5A5A,
             };
             let mut frame = encode_frame(&h, &body);
             let at = 4 + (at % (frame.len() - 4)); // corrupt past the prefix

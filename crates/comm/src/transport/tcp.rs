@@ -502,6 +502,8 @@ mod tests {
                     ctx: 0,
                     kind: crate::header::kind::DATA,
                     len: body.len() as u32,
+                    #[cfg(feature = "trace")]
+                    trace: 0,
                 };
                 t.send(header, body.clone());
                 if t.stats().send_failures > 0 {

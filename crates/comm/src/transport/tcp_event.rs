@@ -852,6 +852,8 @@ mod tests {
             ctx: 0,
             kind: 0,
             len,
+            #[cfg(feature = "trace")]
+            trace: 0,
         }
     }
 

@@ -47,6 +47,7 @@ pub struct ClusterBuilder {
     dedup_window: usize,
     transport: TransportConfig,
     profile: CommProfile,
+    telemetry: Option<Duration>,
     entries: HashMap<String, EntryFn>,
     handlers: HandlerTable,
 }
@@ -65,6 +66,11 @@ impl ClusterBuilder {
             dedup_window: DEFAULT_DEDUP_WINDOW,
             transport: TransportConfig::InProcess,
             profile: CommProfile::NATIVE,
+            telemetry: std::env::var(crate::telemetry::INTERVAL_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
             entries: HashMap::new(),
             handlers: HashMap::new(),
         }
@@ -162,6 +168,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Emit a live telemetry snapshot every `interval` while the
+    /// cluster runs: one NDJSON line per tick folding the deltas of
+    /// every stats family (comm, scheduler, RSR, faults, transport)
+    /// to `$CHANT_TELEMETRY_PATH` (a file to append to, or a unix
+    /// socket with a `unix:` prefix; default `chant_telemetry.ndjson`).
+    /// Also switched on, without code changes, by setting
+    /// `CHANT_TELEMETRY_MS=<millis>` in the environment. Zero cost when
+    /// off; independent of the `trace` feature.
+    pub fn telemetry(mut self, interval: Duration) -> ClusterBuilder {
+        assert!(!interval.is_zero(), "telemetry interval must be positive");
+        self.telemetry = Some(interval);
+        self
+    }
+
     /// Constrain the configuration to what a real 1994 communication
     /// layer could support (default [`CommProfile::NATIVE`], i.e. no
     /// constraint). `build` panics on combinations the profiled system
@@ -247,6 +267,20 @@ impl ClusterBuilder {
         // primitives must not be used from user-level thread context.
         chant_comm::set_blocking_guard(chant_ult::is_ult_context);
 
+        // Flight recorder: `CHANT_FLIGHT_RECORDER=<capacity>` installs a
+        // keep-latest tracer before the nodes (and their lanes) are
+        // built, so long-running traced processes hold the most recent
+        // window instead of a full capture. A tracer the application
+        // already installed wins (install_with refuses a second).
+        #[cfg(feature = "trace")]
+        if let Some(cap) = std::env::var("CHANT_FLIGHT_RECORDER")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+        {
+            chant_obs::tracer::install_with(cap, chant_obs::RingMode::KeepLatest);
+        }
+
         let world = CommWorld::with_config(
             self.pes,
             self.procs_per_pe,
@@ -281,6 +315,7 @@ impl ClusterBuilder {
             world,
             nodes,
             server: self.server,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -296,6 +331,8 @@ pub struct ChantCluster {
     base_pe: u32,
     nodes: Vec<Arc<ChantNode>>,
     server: bool,
+    /// Live-telemetry emission interval, when enabled.
+    telemetry: Option<Duration>,
 }
 
 impl ChantCluster {
@@ -346,6 +383,9 @@ impl ChantCluster {
     {
         let main = Arc::new(main);
         let started = Instant::now();
+        let telemetry = self
+            .telemetry
+            .map(|iv| crate::telemetry::Emitter::start(iv, self.nodes.clone(), self.world.clone()));
         // The completion barrier counts every node in the *world*, not
         // just the ones hosted here — in multi-process mode the DONE and
         // SHUTDOWN messages cross process boundaries like any others.
@@ -400,10 +440,16 @@ impl ChantCluster {
             }
         }
         let elapsed = started.elapsed();
-        assert!(
-            panicked.is_empty(),
-            "cluster node driver(s) panicked: ranks {panicked:?}"
-        );
+        if let Some(t) = telemetry {
+            t.stop();
+        }
+        if !panicked.is_empty() {
+            // A crashing run is exactly what the flight recorder is
+            // for: persist the recent window before propagating.
+            #[cfg(feature = "trace")]
+            let _ = crate::flight::dump("panic");
+            panic!("cluster node driver(s) panicked: ranks {panicked:?}");
+        }
 
         // Surface unobserved panics (recorded in each node's exit table).
         // A panic whose exit record was already claimed by a joiner is the
@@ -413,6 +459,8 @@ impl ChantCluster {
             for (tid, rec) in exits.iter() {
                 if let crate::node::ExitOutcome::Panicked(msg) = &rec.outcome {
                     if !rec.claimed {
+                        #[cfg(feature = "trace")]
+                        let _ = crate::flight::dump("panic");
                         panic!(
                             "thread {tid} on node {} panicked: {msg}",
                             node.address()

@@ -1,0 +1,58 @@
+//! Flight-recorder dumps: write the recent event window on failure.
+//!
+//! When the tracer is installed in [`chant_obs::RingMode::KeepLatest`]
+//! mode (env knob `CHANT_FLIGHT_RECORDER=<capacity>`, consumed by
+//! [`crate::ClusterBuilder::build`]), every lane holds the most recent
+//! `capacity` events instead of dropping on overflow. This module turns
+//! that window into a post-mortem: [`dump`] drains it and writes one
+//! Perfetto-loadable JSON file, and the runtime calls it from its three
+//! failure paths — a remote op exhausting its retries, a
+//! `NodeUnreachable` verdict, and a node main panicking — so the
+//! seconds *before* the failure are on disk without anyone having
+//! asked in advance.
+
+use std::path::PathBuf;
+
+/// Env var naming the directory dump files are written into
+/// (default: the current directory).
+pub const FLIGHT_DIR_ENV: &str = "CHANT_FLIGHT_DIR";
+
+/// Dump the flight-recorder window as a Perfetto JSON file named
+/// `chant_flight_<pid>_<reason>.json` (in `$CHANT_FLIGHT_DIR` or the
+/// current directory), tagging the file with a top-level
+/// `chantFlightReason` key. Returns the path written.
+///
+/// A no-op (`None`) unless the tracer is installed in
+/// [`chant_obs::RingMode::KeepLatest`] mode: ordinary tracing sessions
+/// export their own full captures and must not be consumed behind
+/// their back. Draining *is* consuming — each dump empties the window,
+/// so back-to-back failures each capture what happened since the last.
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    if chant_obs::tracer::mode() != Some(chant_obs::RingMode::KeepLatest) {
+        return None;
+    }
+    let lanes = chant_obs::tracer::drain();
+    if lanes.iter().all(|l| l.events.is_empty()) {
+        return None;
+    }
+    let mut trace = chant_obs::perfetto::lanes_to_chrome_trace(&lanes);
+    if let serde::Value::Object(map) = &mut trace {
+        map.insert(
+            "chantFlightReason".to_string(),
+            serde::Value::String(reason.to_string()),
+        );
+    }
+    let slug: String = reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let dir = std::env::var(FLIGHT_DIR_ENV).unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!(
+        "chant_flight_{}_{}.json",
+        std::process::id(),
+        slug
+    ));
+    let text = serde_json::to_string(&trace).ok()?;
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}

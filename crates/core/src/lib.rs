@@ -56,6 +56,8 @@ pub mod api;
 mod cluster;
 mod collective;
 mod error;
+#[cfg(feature = "trace")]
+pub mod flight;
 mod id;
 mod naming;
 mod node;
@@ -64,6 +66,7 @@ mod poll;
 mod port;
 pub mod ranges;
 mod rsr;
+pub mod telemetry;
 pub mod wire;
 
 pub use cluster::{ChantCluster, ClusterBuilder, ClusterReport, NodeReport};

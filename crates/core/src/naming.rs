@@ -179,6 +179,8 @@ mod tests {
             ctx: w.ctx,
             kind: kind::DATA,
             len: 0,
+            #[cfg(feature = "trace")]
+            trace: 0,
         }
     }
 

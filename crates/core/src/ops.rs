@@ -147,6 +147,47 @@ impl ChantNode {
         self.rsr_call(dst, fns::PING, payload)
     }
 
+    /// Estimate the clock offset between this process's trace timeline
+    /// and `dst`'s, by piggybacking tracer timestamps on `rounds`
+    /// liveness PINGs (Cristian's algorithm: the best sample is the one
+    /// with the smallest round trip, its error bounded by half that
+    /// RTT). Returns `None` when no tracer is installed on either side
+    /// or every probe failed. The estimate's sign convention matches
+    /// [`chant_obs::ClockEstimate`]: *this* clock minus the server's.
+    #[cfg(feature = "trace")]
+    pub fn clock_sync(
+        &self,
+        dst: Address,
+        rounds: usize,
+    ) -> Option<chant_obs::ClockEstimate> {
+        let mut samples = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t_send = chant_obs::tracer::global_now_ns()?;
+            let mut probe = Vec::with_capacity(16);
+            probe.extend_from_slice(CLOCK_PROBE_MAGIC);
+            probe.extend_from_slice(&t_send.to_le_bytes());
+            let Ok(reply) = self.ping(dst, &probe) else {
+                continue;
+            };
+            let t_recv = chant_obs::tracer::global_now_ns()?;
+            // A server without a tracer echoes the 16-byte probe (or
+            // answers 0); neither is a usable sample.
+            if reply.len() != 24 || reply[..8] != *CLOCK_PROBE_MAGIC {
+                continue;
+            }
+            let t_server = u64::from_le_bytes(reply[16..24].try_into().expect("8 bytes"));
+            if t_server == 0 {
+                continue;
+            }
+            samples.push(chant_obs::ClockSample {
+                t_send,
+                t_server,
+                t_recv,
+            });
+        }
+        chant_obs::estimate_offset(&samples)
+    }
+
     // ------------------------------------------------------------------
     // Remote fetch / store (the paper's "remote fetch" and "coherence
     // management" RSR examples, §3.2)
@@ -244,7 +285,7 @@ pub(crate) fn dispatch(
         fns::DETACH => Some(handle_detach(node, env)),
         fns::FETCH => Some(handle_fetch(node, env)),
         fns::STORE => Some(handle_store(node, env)),
-        fns::PING => Some(Ok(env.args.clone())),
+        fns::PING => Some(Ok(handle_ping(env))),
         id => Some(match node.handlers.get(&id) {
             Some(h) => h(
                 node,
@@ -257,6 +298,32 @@ pub(crate) fn dispatch(
             None => Err(ChantError::UnknownRsrFunction(id)),
         }),
     }
+}
+
+/// Magic prefix marking a PING payload as a clock probe (trace builds):
+/// `magic ‖ t_send:u64`. The reply appends the server's tracer clock,
+/// `magic ‖ t_send ‖ t_server:u64`, turning the existing liveness probe
+/// into the timestamp exchange [`ChantNode::clock_sync`] feeds into
+/// [`chant_obs::clock::estimate_offset`]. Ordinary PINGs (any other
+/// payload) echo unchanged, as ever.
+#[cfg(feature = "trace")]
+pub(crate) const CLOCK_PROBE_MAGIC: &[u8; 8] = b"CHANTCLK";
+
+#[cfg(feature = "trace")]
+fn handle_ping(env: &RsrEnvelope) -> Bytes {
+    if env.args.len() == 16 && env.args[..8] == *CLOCK_PROBE_MAGIC {
+        let t_server = chant_obs::tracer::global_now_ns().unwrap_or(0);
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&env.args);
+        out.extend_from_slice(&t_server.to_le_bytes());
+        return Bytes::from(out);
+    }
+    env.args.clone()
+}
+
+#[cfg(not(feature = "trace"))]
+fn handle_ping(env: &RsrEnvelope) -> Bytes {
+    env.args.clone()
 }
 
 fn handle_create(node: &Arc<ChantNode>, env: &RsrEnvelope) -> Result<Bytes, ChantError> {

@@ -269,6 +269,9 @@ pub struct RsrCallHandle {
     spec: RecvSpec,
     body: Bytes,
     seq: u64,
+    /// Requested function id (trace annotation on retries).
+    #[cfg(feature = "trace")]
+    fn_id: u32,
     state: Mutex<CallState>,
 }
 
@@ -332,12 +335,18 @@ impl ChantNode {
         )?;
         let body = encode_rsr(fn_id, token, me, seq, args);
         let reply = self.endpoint().irecv(spec);
+        #[cfg(feature = "trace")]
+        if let Some(lane) = self.vp().obs_lane() {
+            lane.emit(chant_obs::Event::RsrCall { fn_id, seq });
+        }
         self.endpoint().isend(dst, 0, 0, kind::RSR, body.clone());
         Ok(RsrCallHandle {
             dst,
             spec,
             body,
             seq,
+            #[cfg(feature = "trace")]
+            fn_id,
             state: Mutex::new(CallState {
                 reply,
                 result: None,
@@ -461,6 +470,13 @@ impl ChantNode {
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.rsr.stats.retries.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "trace")]
+                if let Some(lane) = self.vp().obs_lane() {
+                    lane.emit(chant_obs::Event::RsrRetry {
+                        fn_id: call.fn_id,
+                        attempt,
+                    });
+                }
                 // Retransmit the *same* token and sequence number with a
                 // freshly posted reply buffer (the old posted receive is
                 // retired on replacement).
@@ -485,9 +501,13 @@ impl ChantNode {
         }
         self.rsr.stats.timeouts.fetch_add(1, Ordering::Relaxed);
         if self.probe_liveness(call.dst, policy.liveness_ping) {
+            #[cfg(feature = "trace")]
+            let _ = crate::flight::dump("retry-exhausted");
             Err(ChantError::Timeout)
         } else {
             self.rsr.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "trace")]
+            let _ = crate::flight::dump("node-unreachable");
             Err(ChantError::NodeUnreachable(ChanterId::new(
                 call.dst.pe,
                 call.dst.process,

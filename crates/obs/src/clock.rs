@@ -1,0 +1,172 @@
+//! Clock-offset estimation between processes.
+//!
+//! Each process's tracer stamps events in nanoseconds since its own
+//! epoch (the `Instant` taken at install), so two processes' traces
+//! live on unrelated clocks. To merge them into one cluster timeline,
+//! each process measures its offset against a reference process by
+//! piggybacking timestamps on the existing PING liveness probe: the
+//! client records its send time `t_send` and receive time `t_recv`
+//! (client clock) around a ping whose reply carries the server's
+//! `t_server` (server clock).
+//!
+//! The estimator is the classic midpoint/min-RTT one (Cristian's
+//! algorithm, the same core NTP builds on): the sample with the
+//! smallest round-trip time has the least queueing asymmetry, and on
+//! that sample the server's stamp is assumed to sit at the midpoint of
+//! the client's interval. The error is bounded by half that minimum
+//! RTT — a few microseconds on a loopback cluster, far below the
+//! millisecond-scale gaps retries and parks produce.
+
+use serde::{Deserialize, Serialize};
+
+/// One timestamp exchange: client send / server stamp / client receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockSample {
+    /// Client clock at probe send (ns since the client's trace epoch).
+    pub t_send: u64,
+    /// Server clock when it stamped the reply (ns since the *server's*
+    /// trace epoch).
+    pub t_server: u64,
+    /// Client clock at reply receipt.
+    pub t_recv: u64,
+}
+
+impl ClockSample {
+    /// Round-trip time observed by the client.
+    pub fn rtt_ns(&self) -> u64 {
+        self.t_recv.saturating_sub(self.t_send)
+    }
+
+    /// Offset implied by this sample alone: client clock minus server
+    /// clock at the same instant, assuming the server stamped at the
+    /// client interval's midpoint.
+    pub fn offset_ns(&self) -> i64 {
+        let midpoint = (self.t_send as i128 + self.t_recv as i128) / 2;
+        (midpoint - self.t_server as i128) as i64
+    }
+}
+
+/// The estimate over a batch of samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockEstimate {
+    /// Client clock minus server clock (add `-offset_ns` to a client
+    /// timestamp to express it on the server's clock).
+    pub offset_ns: i64,
+    /// The minimum RTT among the samples — the estimate came from this
+    /// exchange, and `min_rtt_ns / 2` bounds its error.
+    pub min_rtt_ns: u64,
+    /// How many samples the batch held.
+    pub samples: usize,
+}
+
+impl ClockEstimate {
+    /// The identity estimate (a process against itself, or the
+    /// reference process in a merge).
+    pub fn identity() -> ClockEstimate {
+        ClockEstimate {
+            offset_ns: 0,
+            min_rtt_ns: 0,
+            samples: 0,
+        }
+    }
+
+    /// Map a local (client-clock) timestamp onto the server's clock.
+    pub fn to_server_ns(&self, local_ns: u64) -> i64 {
+        local_ns as i64 - self.offset_ns
+    }
+}
+
+/// Estimate the client→server clock offset from a batch of samples
+/// using the minimum-RTT exchange. `None` on an empty batch or if every
+/// sample is degenerate (`t_recv < t_send`).
+pub fn estimate_offset(samples: &[ClockSample]) -> Option<ClockEstimate> {
+    let best = samples
+        .iter()
+        .filter(|s| s.t_recv >= s.t_send)
+        .min_by_key(|s| s.rtt_ns())?;
+    Some(ClockEstimate {
+        offset_ns: best.offset_ns(),
+        min_rtt_ns: best.rtt_ns(),
+        samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pair of fake clocks: the server's clock reads
+    /// `client + skew` at every instant, and each direction of a probe
+    /// takes a chosen one-way delay.
+    fn sample(client_send: u64, skew: i64, up_ns: u64, down_ns: u64) -> ClockSample {
+        let server_stamp = (client_send + up_ns) as i64 + skew;
+        ClockSample {
+            t_send: client_send,
+            t_server: server_stamp as u64,
+            t_recv: client_send + up_ns + down_ns,
+        }
+    }
+
+    #[test]
+    fn symmetric_exchange_recovers_exact_skew() {
+        // Server runs 5 ms ahead of the client; both directions 10 µs.
+        let s = sample(1_000_000, 5_000_000, 10_000, 10_000);
+        let est = estimate_offset(&[s]).unwrap();
+        assert_eq!(est.offset_ns, -5_000_000);
+        assert_eq!(est.min_rtt_ns, 20_000);
+        // Server behind the client works too.
+        let s = sample(9_000_000, -2_500_000, 4_000, 4_000);
+        assert_eq!(estimate_offset(&[s]).unwrap().offset_ns, 2_500_000);
+    }
+
+    #[test]
+    fn min_rtt_sample_wins_over_noisy_ones() {
+        let skew = 1_000_000;
+        let clean = sample(5_000_000, skew, 5_000, 5_000);
+        // Heavily asymmetric, slow exchanges whose individual midpoint
+        // estimates are off by hundreds of µs.
+        let noisy1 = sample(1_000_000, skew, 900_000, 50_000);
+        let noisy2 = sample(3_000_000, skew, 20_000, 700_000);
+        let est = estimate_offset(&[noisy1, clean, noisy2]).unwrap();
+        assert_eq!(est.offset_ns, -skew);
+        assert_eq!(est.min_rtt_ns, 10_000);
+        assert_eq!(est.samples, 3);
+    }
+
+    #[test]
+    fn error_is_bounded_by_half_min_rtt() {
+        let skew = -3_000_000i64;
+        // Worst-case asymmetry at a given RTT: all delay on one leg.
+        for (up, down) in [(12_000, 0), (0, 12_000), (9_000, 3_000)] {
+            let est = estimate_offset(&[sample(1_000, skew, up, down)]).unwrap();
+            let err = (est.offset_ns - (-skew)).abs();
+            assert!(
+                err <= est.min_rtt_ns as i64 / 2,
+                "err {err} exceeds rtt/2 {}",
+                est.min_rtt_ns / 2
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_batches_yield_none() {
+        assert!(estimate_offset(&[]).is_none());
+        let backwards = ClockSample {
+            t_send: 10,
+            t_server: 5,
+            t_recv: 3,
+        };
+        assert!(estimate_offset(&[backwards]).is_none());
+    }
+
+    #[test]
+    fn estimate_maps_local_time_onto_server_clock() {
+        let s = sample(1_000_000, 7_000_000, 2_000, 2_000);
+        let est = estimate_offset(&[s]).unwrap();
+        // A client event at t maps to t + skew on the server's clock.
+        assert_eq!(est.to_server_ns(1_000_000), 8_000_000);
+        let json = serde_json::to_string(&est).unwrap();
+        let back: ClockEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, est);
+    }
+}

@@ -11,6 +11,62 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Helpers for the wire-level trace id: a per-message `(origin_pe,
+/// seq)` pair packed into one `u64` (16 bits of origin PE, 48 bits of
+/// per-endpoint sequence). `0` is reserved for "no id" (control frames
+/// allocated before tracing was installed, pre-trace peers).
+pub mod trace_id {
+    /// Bits of the packed id carrying the sequence number.
+    pub const SEQ_BITS: u32 = 48;
+    /// Mask selecting the sequence bits.
+    pub const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+    /// Pack `(origin_pe, seq)` into one id. The PE is truncated to 16
+    /// bits and the sequence to 48 — both far beyond any cluster this
+    /// runtime addresses.
+    pub fn pack(origin_pe: u32, seq: u64) -> u64 {
+        ((origin_pe as u64 & 0xFFFF) << SEQ_BITS) | (seq & SEQ_MASK)
+    }
+
+    /// Unpack an id into `(origin_pe, seq)`.
+    pub fn unpack(id: u64) -> (u32, u64) {
+        ((id >> SEQ_BITS) as u32, id & SEQ_MASK)
+    }
+
+    /// Render an id as the `origin:seq` string the Perfetto flow
+    /// arrows and merge tool key on.
+    pub fn display(id: u64) -> String {
+        let (pe, seq) = unpack(id);
+        format!("{pe}:{seq}")
+    }
+}
+
+/// What the fault shim did to a message (the annotated first-class
+/// fault events of the distributed-tracing layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The message was silently discarded.
+    Drop,
+    /// A duplicate copy was scheduled for delivery.
+    Duplicate,
+    /// Delivery was deferred by the shim's latency draw.
+    Delay,
+    /// The message was held back past a later one.
+    Reorder,
+}
+
+impl FaultKind {
+    /// Short display name (also the Chrome-trace event name suffix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+        }
+    }
+}
+
 /// One traced occurrence on a lane (a VP, an endpoint, or a simulated
 /// processor). `Copy` and small on purpose: events travel through the
 /// lock-free ring by value and must never tear.
@@ -98,6 +154,49 @@ pub enum Event {
         /// Requested function id.
         fn_id: u32,
     },
+    /// A message left this lane carrying a wire-level trace id — the
+    /// causal half-edge the cluster merge tool connects to its
+    /// [`Event::MsgRecv`] with a Perfetto flow arrow.
+    MsgSend {
+        /// Destination PE.
+        to: u32,
+        /// Matching tag.
+        tag: i32,
+        /// Packed `(origin_pe, seq)` trace id (see [`trace_id`]).
+        id: u64,
+    },
+    /// A message with a wire-level trace id arrived at this lane.
+    MsgRecv {
+        /// Source PE.
+        from: u32,
+        /// Matching tag.
+        tag: i32,
+        /// Packed `(origin_pe, seq)` trace id (see [`trace_id`]).
+        id: u64,
+    },
+    /// The fault shim perturbed a traced message (first-class annotated
+    /// drop/dup/delay/reorder — no more inferring drops from gaps).
+    Fault {
+        /// What the shim did.
+        kind: FaultKind,
+        /// Trace id of the perturbed message (0 when untraced).
+        id: u64,
+    },
+    /// A client issued a remote service request (paper §3.2, viewed
+    /// from the calling side; pairs with the server's `RsrServe`).
+    RsrCall {
+        /// Requested function id.
+        fn_id: u32,
+        /// The caller's RSR sequence number (dedup-window seq).
+        seq: u64,
+    },
+    /// A client re-sent a timed-out remote service request.
+    RsrRetry {
+        /// Requested function id.
+        fn_id: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
 }
 
 impl Event {
@@ -119,6 +218,26 @@ impl Event {
             Event::Testany { .. } => "testany",
             Event::RsrServe { .. } => "rsr_serve",
             Event::RsrDone { .. } => "rsr_done",
+            Event::MsgSend { .. } => "msg.send",
+            Event::MsgRecv { .. } => "msg.recv",
+            Event::Fault { kind, .. } => match kind {
+                FaultKind::Drop => "fault.drop",
+                FaultKind::Duplicate => "fault.dup",
+                FaultKind::Delay => "fault.delay",
+                FaultKind::Reorder => "fault.reorder",
+            },
+            Event::RsrCall { .. } => "rsr.call",
+            Event::RsrRetry { .. } => "rsr.retry",
+        }
+    }
+
+    /// The wire-level trace id this event carries, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        match *self {
+            Event::MsgSend { id, .. } | Event::MsgRecv { id, .. } | Event::Fault { id, .. } => {
+                (id != 0).then_some(id)
+            }
+            _ => None,
         }
     }
 
@@ -189,6 +308,41 @@ mod tests {
         assert!(Event::ThreadDone { thread: 3 }.is_departure());
         assert_eq!(Event::Idle.thread(), None);
         assert!(!Event::Idle.is_departure());
+    }
+
+    #[test]
+    fn trace_id_packs_and_unpacks() {
+        let id = trace_id::pack(3, 0x1234_5678_9ABC);
+        assert_eq!(trace_id::unpack(id), (3, 0x1234_5678_9ABC));
+        assert_eq!(trace_id::display(id), "3:20015998343868");
+        // Truncation keeps the layout total.
+        let wide = trace_id::pack(u32::MAX, u64::MAX);
+        let (pe, seq) = trace_id::unpack(wide);
+        assert_eq!(pe, 0xFFFF);
+        assert_eq!(seq, trace_id::SEQ_MASK);
+        assert_eq!(
+            Event::MsgSend { to: 1, tag: 7, id }.trace_id(),
+            Some(id)
+        );
+        assert_eq!(Event::MsgSend { to: 1, tag: 7, id: 0 }.trace_id(), None);
+        assert_eq!(Event::Idle.trace_id(), None);
+    }
+
+    #[test]
+    fn tracing_events_serialize_round_trip() {
+        for e in [
+            Event::MsgSend { to: 1, tag: 3, id: trace_id::pack(0, 9) },
+            Event::MsgRecv { from: 0, tag: 3, id: trace_id::pack(0, 9) },
+            Event::Fault { kind: FaultKind::Drop, id: 17 },
+            Event::Fault { kind: FaultKind::Reorder, id: 0 },
+            Event::RsrCall { fn_id: 1000, seq: 4 },
+            Event::RsrRetry { fn_id: 1000, attempt: 2 },
+        ] {
+            let t = TimedEvent { ts_ns: 5, event: e };
+            let json = serde_json::to_string(&t).unwrap();
+            let back: TimedEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   histograms behind one registry.
 //! * [`perfetto`] — the Chrome-trace-event/Perfetto JSON exporter (and
 //!   schema validator) both trace sources render through.
+//! * [`clock`] — midpoint/min-RTT clock-offset estimation between
+//!   processes (fed by timestamps piggybacked on the PING probe).
+//! * [`merge`] — stitches N per-process exports into one clock-aligned
+//!   cluster timeline with Perfetto flow arrows on the wire-level
+//!   trace ids.
 //!
 //! The runtime crates (`chant-ult`, `chant-comm`, `chant-core`) depend
 //! on this crate only behind their `trace` cargo feature and compile
@@ -22,15 +27,18 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod event;
+pub mod merge;
 pub mod metrics;
 pub mod perfetto;
 pub mod ring;
 pub mod tracer;
 
-pub use event::{Event, LaneTrace, TimedEvent};
+pub use clock::{estimate_offset, ClockEstimate, ClockSample};
+pub use event::{trace_id, Event, FaultKind, LaneTrace, TimedEvent};
 pub use metrics::{registry, Counter, Histogram, MetricsRegistry};
-pub use tracer::LaneHandle;
+pub use tracer::{LaneHandle, RingMode};
 
 /// What [`check_balance`] tallied over one lane.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -1,0 +1,533 @@
+//! Clock-aligned merging of per-process traces into one cluster
+//! timeline.
+//!
+//! Every process of a multi-process cluster exports its own Chrome
+//! trace (timestamps on its private tracer clock) plus a
+//! [`ClockEstimate`] of that clock against a reference process (rank
+//! 0), measured over the PING liveness probe. This module stitches N
+//! such exports into a single Perfetto file:
+//!
+//! 1. each process becomes its own `pid` with a named process track;
+//! 2. every timestamp is shifted by the process's estimated offset so
+//!    all events share the reference clock, then re-based so the
+//!    earliest event sits at t=0 (Chrome timestamps must be ≥ 0);
+//! 3. `msg.send`/`msg.recv` instants carrying the same wire-level
+//!    trace id are connected with Perfetto flow arrows (`ph:"s"` →
+//!    `ph:"f"`), making every cross-process interaction — including
+//!    each delivered duplicate — a clickable causal edge;
+//! 4. causality is enforced: a midpoint estimate can be off by up to
+//!    half the probe RTT, so any matched message whose receive would
+//!    precede its send after alignment tightens the receiver's offset
+//!    (a happened-before repair, iterated to a fixpoint) before the
+//!    arrows are laid down.
+//!
+//! The output validates against [`crate::perfetto::validate_chrome_trace`]
+//! with balanced flow arrows and non-negative wire gaps.
+
+use std::collections::BTreeMap;
+
+use serde::{Map, Serialize, Value};
+
+use crate::clock::ClockEstimate;
+use crate::event::LaneTrace;
+use crate::perfetto::{self, obj, s, u, us};
+
+/// One process's contribution to a cluster merge.
+#[derive(Clone, Debug)]
+pub struct ProcessTrace {
+    /// The process's rank (0 = the clock reference).
+    pub process: u32,
+    /// Its Chrome-trace export (the `{"traceEvents": ...}` root).
+    pub trace: Value,
+    /// Its clock offset against the reference process: this process's
+    /// tracer clock minus the reference clock.
+    pub offset: ClockEstimate,
+}
+
+/// What a merge did, for reporting and CI assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct MergeReport {
+    /// Input processes merged.
+    pub processes: usize,
+    /// Total events in the merged `traceEvents` array (flows included).
+    pub events: usize,
+    /// Flow arrows laid down (send→recv pairs; one per delivery, so a
+    /// duplicated message contributes two).
+    pub flows: usize,
+    /// Flow arrows crossing a process boundary.
+    pub cross_process_flows: usize,
+    /// `msg.send` instants with no observed delivery (dropped by the
+    /// fault shim, or still in flight at capture end).
+    pub unmatched_sends: usize,
+    /// `msg.recv` instants whose send was not captured (e.g. emitted
+    /// before that process's tracer installed).
+    pub unmatched_recvs: usize,
+    /// Smallest send→recv gap after alignment, in nanoseconds
+    /// (non-negative once the causal repair converges).
+    pub min_wire_gap_ns: i64,
+    /// Iterations the happened-before offset repair took (0 = the
+    /// estimates were already causally consistent).
+    pub causal_repairs: usize,
+}
+
+/// Extra top-level keys a per-process export carries so the merge tool
+/// can recover rank and clock offset from the file alone. Chrome-trace
+/// consumers ignore unknown root keys, so the file still loads in
+/// Perfetto directly.
+pub const PROCESS_KEY: &str = "chantProcess";
+/// Root key holding the serialized [`ClockEstimate`].
+pub const OFFSET_KEY: &str = "chantClockOffset";
+
+/// Render one process's lanes as a self-describing per-process export:
+/// a normal Chrome trace plus the rank and clock-offset annotations the
+/// merge step needs.
+pub fn process_trace_value(process: u32, lanes: &[LaneTrace], offset: &ClockEstimate) -> Value {
+    let mut root = match perfetto::lanes_to_chrome_trace(lanes) {
+        Value::Object(m) => m,
+        _ => unreachable!("exporter root is an object"),
+    };
+    root.insert(PROCESS_KEY.to_string(), u(process as u64));
+    root.insert(
+        OFFSET_KEY.to_string(),
+        serde_json::to_value(offset).expect("ClockEstimate serializes"),
+    );
+    Value::Object(root)
+}
+
+/// Parse a per-process export produced by [`process_trace_value`].
+/// Consumes the value: real exports run to hundreds of thousands of
+/// events, and a deep clone here (then per-event clones in the merge)
+/// is what turns a linear merge into minutes of allocator churn.
+pub fn read_process_trace(v: Value) -> Result<ProcessTrace, String> {
+    let root = v.as_object().ok_or("process trace root is not an object")?;
+    let process = root
+        .get(PROCESS_KEY)
+        .and_then(Value::as_u128)
+        .ok_or_else(|| format!("missing/invalid {PROCESS_KEY} key"))? as u32;
+    let offset = root
+        .get(OFFSET_KEY)
+        .ok_or_else(|| format!("missing {OFFSET_KEY} key"))
+        .and_then(|ov| {
+            serde::Deserialize::deserialize(ov).map_err(|e| format!("bad {OFFSET_KEY}: {e:?}"))
+        })?;
+    Ok(ProcessTrace {
+        process,
+        trace: v,
+        offset,
+    })
+}
+
+/// One half-edge gathered during the scan.
+#[derive(Clone, Copy, Debug)]
+struct HalfEdge {
+    proc_idx: usize,
+    tid: u64,
+    /// Local (unshifted) timestamp in nanoseconds.
+    ts_ns: i64,
+}
+
+fn f64_key(v: &Map, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Merge per-process traces into one clock-aligned cluster timeline.
+/// Inputs may arrive in any rank order; exactly one input per rank.
+/// Consumes the inputs: every event map is moved (not cloned) into the
+/// merged file, which on real multi-hundred-thousand-event captures is
+/// the difference between seconds and minutes.
+pub fn merge_cluster_trace(mut inputs: Vec<ProcessTrace>) -> Result<(Value, MergeReport), String> {
+    if inputs.is_empty() {
+        return Err("nothing to merge".into());
+    }
+    inputs.sort_by_key(|p| p.process);
+    for w in inputs.windows(2) {
+        if w[0].process == w[1].process {
+            return Err(format!("duplicate input for process {}", w[0].process));
+        }
+    }
+
+    // Scan phase: collect every event (rewritten with its process pid)
+    // plus the send/recv half-edges keyed by wire trace id.
+    let mut sends: BTreeMap<String, HalfEdge> = BTreeMap::new();
+    let mut recvs: BTreeMap<String, Vec<HalfEdge>>= BTreeMap::new();
+    // (proc_idx, event) with the event's local ts kept in ns for the
+    // alignment pass.
+    let mut staged: Vec<(usize, Map)> = Vec::new();
+    let mut offsets: Vec<i64> = Vec::new();
+
+    for (proc_idx, input) in inputs.iter_mut().enumerate() {
+        offsets.push(input.offset.offset_ns);
+        let process = input.process;
+        let root = match &mut input.trace {
+            Value::Object(m) => m,
+            _ => return Err(format!("process {process}: root is not an object")),
+        };
+        let events = match root.remove("traceEvents") {
+            Some(Value::Array(a)) => a,
+            _ => return Err(format!("process {process}: missing traceEvents")),
+        };
+        let pid = process as u64 + 1;
+        for ev in events {
+            let mut ev = match ev {
+                Value::Object(m) => m,
+                _ => return Err(format!("process {process}: non-object event")),
+            };
+            ev.insert("pid".to_string(), u(pid));
+            // Namespace tids so the merged report's lane count stays a
+            // cluster-wide count (Perfetto itself keys on (pid, tid)).
+            if let Some(tid) = ev.get("tid").and_then(Value::as_u128) {
+                let tid = pid * 1_000 + tid as u64;
+                ev.insert("tid".to_string(), u(tid));
+                let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+                if name == "msg.send" || name == "msg.recv" {
+                    let trace_id = ev
+                        .get("args")
+                        .and_then(Value::as_object)
+                        .and_then(|a| a.get("trace_id"))
+                        .and_then(Value::as_str)
+                        .map(str::to_string);
+                    let ts_ns = f64_key(&ev, "ts").map(|t| (t * 1000.0).round() as i64);
+                    if let (Some(id), Some(ts_ns)) = (trace_id, ts_ns) {
+                        let edge = HalfEdge {
+                            proc_idx,
+                            tid,
+                            ts_ns,
+                        };
+                        if name == "msg.send" {
+                            sends.insert(id, edge);
+                        } else {
+                            recvs.entry(id).or_default().push(edge);
+                        }
+                    }
+                }
+            }
+            // Per-process process_name metadata keeps each rank's track
+            // labelled in the merged view.
+            if ev.get("ph").and_then(Value::as_str) == Some("M")
+                && ev.get("name").and_then(Value::as_str) == Some("process_name")
+            {
+                ev.insert(
+                    "args".to_string(),
+                    obj(vec![("name", s(&format!("chant rank {process}")))]),
+                );
+            }
+            staged.push((proc_idx, ev));
+        }
+    }
+
+    // Causal repair: a receive must not precede its send once both sit
+    // on the reference clock. aligned(ts) = local_ts - offset[proc], so
+    // a negative gap is fixed by *lowering* the receiver's offset by
+    // the violation. Iterating relaxes the difference constraints to a
+    // fixpoint (Bellman-Ford style; consistent because real time
+    // existed), with a pass cap as a guard against pathological input.
+    let mut causal_repairs = 0usize;
+    for _pass in 0..(16 * inputs.len().max(1)) {
+        let mut worst: Vec<i64> = vec![0; inputs.len()];
+        for (id, send) in &sends {
+            if let Some(rs) = recvs.get(id) {
+                for r in rs {
+                    if r.proc_idx == send.proc_idx {
+                        continue;
+                    }
+                    let gap =
+                        (r.ts_ns - offsets[r.proc_idx]) - (send.ts_ns - offsets[send.proc_idx]);
+                    if gap < 0 {
+                        worst[r.proc_idx] = worst[r.proc_idx].min(gap);
+                    }
+                }
+            }
+        }
+        let Some((proc_idx, gap)) = worst
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| **g < 0)
+            .map(|(i, g)| (i, *g))
+            .next()
+        else {
+            break;
+        };
+        offsets[proc_idx] += gap; // gap < 0: receiver's clock moves later
+        causal_repairs += 1;
+    }
+
+    // Alignment pass: shift every timestamp onto the reference clock,
+    // then re-base so the earliest event is t=0.
+    let mut min_ts_ns = i64::MAX;
+    let mut shifted: Vec<(i64, Map)> = Vec::new();
+    for (proc_idx, mut ev) in staged {
+        let ts_ns = match f64_key(&ev, "ts") {
+            Some(t) => {
+                let aligned = (t * 1000.0).round() as i64 - offsets[proc_idx];
+                min_ts_ns = min_ts_ns.min(aligned);
+                Some(aligned)
+            }
+            None => None,
+        };
+        if let Some(ts) = ts_ns {
+            ev.insert("ts".to_string(), us(0)); // placeholder, re-based below
+            shifted.push((ts, ev));
+        } else {
+            shifted.push((i64::MIN, ev)); // metadata without ts
+        }
+    }
+    if min_ts_ns == i64::MAX {
+        min_ts_ns = 0;
+    }
+
+    let mut merged: Vec<Value> = Vec::new();
+    for (ts, mut ev) in shifted {
+        if ts != i64::MIN {
+            ev.insert("ts".to_string(), us((ts - min_ts_ns) as u64));
+        } else {
+            ev.remove("ts");
+        }
+        merged.push(Value::Object(ev));
+    }
+
+    // Flow arrows: one s→f pair per delivery of a matched trace id.
+    let mut report = MergeReport {
+        processes: inputs.len(),
+        causal_repairs,
+        min_wire_gap_ns: i64::MAX,
+        ..MergeReport::default()
+    };
+    for (id, send) in &sends {
+        let Some(rs) = recvs.get(id) else {
+            report.unmatched_sends += 1;
+            continue;
+        };
+        let send_ts = send.ts_ns - offsets[send.proc_idx] - min_ts_ns;
+        let send_pid = inputs[send.proc_idx].process as u64 + 1;
+        for (k, r) in rs.iter().enumerate() {
+            let recv_ts = r.ts_ns - offsets[r.proc_idx] - min_ts_ns;
+            let recv_pid = inputs[r.proc_idx].process as u64 + 1;
+            report.min_wire_gap_ns = report.min_wire_gap_ns.min(recv_ts - send_ts);
+            // A duplicated delivery gets its own arrow under a suffixed
+            // id so each copy renders as a distinct edge.
+            let flow_id = if k == 0 {
+                id.clone()
+            } else {
+                format!("{id}#dup{k}")
+            };
+            merged.push(obj(vec![
+                ("name", s("msg")),
+                ("cat", s("flow")),
+                ("ph", s("s")),
+                ("id", s(&flow_id)),
+                ("ts", us(send_ts.max(0) as u64)),
+                ("pid", u(send_pid)),
+                ("tid", u(send.tid)),
+            ]));
+            merged.push(obj(vec![
+                ("name", s("msg")),
+                ("cat", s("flow")),
+                ("ph", s("f")),
+                ("bp", s("e")),
+                ("id", s(&flow_id)),
+                ("ts", us(recv_ts.max(0) as u64)),
+                ("pid", u(recv_pid)),
+                ("tid", u(r.tid)),
+            ]));
+            report.flows += 1;
+            if r.proc_idx != send.proc_idx {
+                report.cross_process_flows += 1;
+            }
+        }
+    }
+    report.unmatched_recvs = recvs
+        .iter()
+        .filter(|(id, _)| !sends.contains_key(*id))
+        .map(|(_, rs)| rs.len())
+        .sum();
+    if report.min_wire_gap_ns == i64::MAX {
+        report.min_wire_gap_ns = 0;
+    }
+    report.events = merged.len();
+
+    let value = obj(vec![
+        ("traceEvents", Value::Array(merged)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    Ok((value, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{estimate_offset, ClockSample};
+    use crate::event::{trace_id, Event, TimedEvent};
+    use crate::perfetto::validate_chrome_trace;
+
+    fn lane(name: &str, events: Vec<(u64, Event)>) -> LaneTrace {
+        LaneTrace {
+            name: name.to_string(),
+            events: events
+                .into_iter()
+                .map(|(ts_ns, event)| TimedEvent { ts_ns, event })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    /// Two in-process "processes" with a known clock skew: process 1's
+    /// clock reads `t + SKEW` when process 0's reads `t`. A message
+    /// leaves p0 at true time 100µs and arrives at p1 at true time
+    /// 150µs — so p1 logs the receive at local 150µs + SKEW. The
+    /// estimator sees fake ping samples with the same skew; after the
+    /// merge the recv must land ~50µs after the send on one shared
+    /// clock, never before it.
+    #[test]
+    fn fake_clock_skew_merge_orders_send_before_recv() {
+        const SKEW_NS: i64 = 3_000_000; // p1 runs 3ms ahead
+        let id = trace_id::pack(0, 1);
+
+        let p0 = process_trace_value(
+            0,
+            &[lane(
+                "ep0.0",
+                vec![(100_000, Event::MsgSend { to: 1, tag: 7, id })],
+            )],
+            &ClockEstimate::identity(),
+        );
+
+        // p1's local clock = true + SKEW.
+        let recv_local = (150_000i64 + SKEW_NS) as u64;
+        // Fake PING exchange measured by p1 against p0: send at true
+        // 10µs, server stamp at true 15µs, recv at true 20µs.
+        let samples = [ClockSample {
+            t_send: (10_000 + SKEW_NS) as u64,
+            t_server: 15_000,
+            t_recv: (20_000 + SKEW_NS) as u64,
+        }];
+        let est = estimate_offset(&samples).unwrap();
+        assert_eq!(est.offset_ns, SKEW_NS, "estimator recovers the skew");
+
+        let p1 = process_trace_value(
+            1,
+            &[lane(
+                "ep1.0",
+                vec![(
+                    recv_local,
+                    Event::MsgRecv { from: 0, tag: 7, id },
+                )],
+            )],
+            &est,
+        );
+
+        let inputs = vec![
+            read_process_trace(p0).unwrap(),
+            read_process_trace(p1).unwrap(),
+        ];
+        let (merged, report) = merge_cluster_trace(inputs).unwrap();
+        let summary = validate_chrome_trace(&merged).unwrap();
+        assert_eq!(summary.flow_starts, 1);
+        assert_eq!(summary.flow_ends, 1);
+        assert_eq!(report.flows, 1);
+        assert_eq!(report.cross_process_flows, 1);
+        assert_eq!(report.unmatched_sends, 0);
+        assert_eq!(report.causal_repairs, 0, "a perfect estimate needs no repair");
+        // The 3ms skew is gone: the wire gap is the true 50µs.
+        assert_eq!(report.min_wire_gap_ns, 50_000);
+    }
+
+    /// An estimate off by more than the wire time makes the receive
+    /// appear before the send; the causal repair must pull it back to a
+    /// non-negative gap.
+    #[test]
+    fn causal_repair_fixes_overestimated_offsets() {
+        let id = trace_id::pack(0, 1);
+        let p0 = process_trace_value(
+            0,
+            &[lane(
+                "ep0.0",
+                vec![(100_000, Event::MsgSend { to: 1, tag: 1, id })],
+            )],
+            &ClockEstimate::identity(),
+        );
+        // True skew is 0 and the wire took 10µs (recv at local 110µs),
+        // but the estimate claims p1 runs 40µs ahead — aligning with it
+        // would put the recv at 70µs, before the send.
+        let bad_est = ClockEstimate {
+            offset_ns: 40_000,
+            min_rtt_ns: 100_000,
+            samples: 1,
+        };
+        let p1 = process_trace_value(
+            1,
+            &[lane(
+                "ep1.0",
+                vec![(110_000, Event::MsgRecv { from: 0, tag: 1, id })],
+            )],
+            &bad_est,
+        );
+        let inputs = vec![
+            read_process_trace(p0).unwrap(),
+            read_process_trace(p1).unwrap(),
+        ];
+        let (merged, report) = merge_cluster_trace(inputs).unwrap();
+        validate_chrome_trace(&merged).unwrap();
+        assert!(report.causal_repairs > 0);
+        assert!(
+            report.min_wire_gap_ns >= 0,
+            "repair left a negative gap: {}",
+            report.min_wire_gap_ns
+        );
+    }
+
+    #[test]
+    fn unmatched_and_duplicate_deliveries_are_reported() {
+        let sent = trace_id::pack(0, 1);
+        let dropped = trace_id::pack(0, 2);
+        let orphan = trace_id::pack(9, 9);
+        let p0 = process_trace_value(
+            0,
+            &[lane(
+                "ep0.0",
+                vec![
+                    (10, Event::MsgSend { to: 1, tag: 1, id: sent }),
+                    (20, Event::MsgSend { to: 1, tag: 1, id: dropped }),
+                ],
+            )],
+            &ClockEstimate::identity(),
+        );
+        let p1 = process_trace_value(
+            1,
+            &[lane(
+                "ep1.0",
+                vec![
+                    // The surviving message arrives twice (fault-shim dup).
+                    (50, Event::MsgRecv { from: 0, tag: 1, id: sent }),
+                    (60, Event::MsgRecv { from: 0, tag: 1, id: sent }),
+                    (70, Event::MsgRecv { from: 0, tag: 1, id: orphan }),
+                ],
+            )],
+            &ClockEstimate::identity(),
+        );
+        let inputs = vec![
+            read_process_trace(p0).unwrap(),
+            read_process_trace(p1).unwrap(),
+        ];
+        let (merged, report) = merge_cluster_trace(inputs).unwrap();
+        let summary = validate_chrome_trace(&merged).unwrap();
+        assert_eq!(report.flows, 2, "one arrow per delivery of the dup");
+        assert_eq!(report.unmatched_sends, 1, "the dropped message");
+        assert_eq!(report.unmatched_recvs, 1, "the orphan receive");
+        assert_eq!(summary.flow_starts, summary.flow_ends);
+    }
+
+    #[test]
+    fn merge_rejects_bad_input() {
+        assert!(merge_cluster_trace(Vec::new()).is_err());
+        let p = read_process_trace(process_trace_value(
+            3,
+            &[],
+            &ClockEstimate::identity(),
+        ))
+        .unwrap();
+        assert_eq!(p.process, 3);
+        let dup = [p.clone(), p];
+        assert!(merge_cluster_trace(dup.to_vec()).is_err());
+        assert!(read_process_trace(Value::Array(vec![])).is_err());
+    }
+}

@@ -16,17 +16,17 @@
 
 use serde::{Map, Number, Value};
 
-use crate::event::{Event, LaneTrace};
+use crate::event::{trace_id, Event, LaneTrace};
 
 /// The process id used for all exported events (one trace = one
 /// logical process).
 const PID: u64 = 1;
 
-fn s(v: &str) -> Value {
+pub(crate) fn s(v: &str) -> Value {
     Value::String(v.to_string())
 }
 
-fn u(v: u64) -> Value {
+pub(crate) fn u(v: u64) -> Value {
     Value::Number(Number::PosInt(v as u128))
 }
 
@@ -38,13 +38,13 @@ fn i(v: i64) -> Value {
     }
 }
 
-fn us(ts_ns: u64) -> Value {
+pub(crate) fn us(ts_ns: u64) -> Value {
     // Chrome-trace timestamps are microseconds; keep sub-µs resolution
     // as a fraction.
     Value::Number(Number::Float(ts_ns as f64 / 1000.0))
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
     let mut m = Map::new();
     for (k, v) in entries {
         m.insert(k.to_string(), v);
@@ -187,11 +187,36 @@ pub fn lanes_to_chrome_trace(lanes: &[LaneTrace]) -> Value {
                         ]),
                         Event::Msgtest { ok } => obj(vec![("ok", Value::Bool(ok))]),
                         Event::Testany { ready } => obj(vec![("ready", Value::Bool(ready))]),
+                        Event::MsgSend { to, tag, id } => obj(vec![
+                            ("to", u(to as u64)),
+                            ("tag", i(tag as i64)),
+                            ("trace_id", s(&trace_id::display(id))),
+                        ]),
+                        Event::MsgRecv { from, tag, id } => obj(vec![
+                            ("from", u(from as u64)),
+                            ("tag", i(tag as i64)),
+                            ("trace_id", s(&trace_id::display(id))),
+                        ]),
+                        Event::Fault { id, .. } => {
+                            obj(vec![("trace_id", s(&trace_id::display(id)))])
+                        }
+                        Event::RsrCall { fn_id, seq } => {
+                            obj(vec![("fn_id", u(fn_id as u64)), ("seq", u(seq))])
+                        }
+                        Event::RsrRetry { fn_id, attempt } => obj(vec![
+                            ("fn_id", u(fn_id as u64)),
+                            ("attempt", u(attempt as u64)),
+                        ]),
                         _ => obj(vec![]),
                     };
                     let cat = match ev {
-                        Event::Send { .. } | Event::Arrive { .. } => "comm",
+                        Event::Send { .. }
+                        | Event::Arrive { .. }
+                        | Event::MsgSend { .. }
+                        | Event::MsgRecv { .. } => "comm",
                         Event::Msgtest { .. } | Event::Testany { .. } => "poll",
+                        Event::Fault { .. } => "fault",
+                        Event::RsrCall { .. } | Event::RsrRetry { .. } => "rsr",
                         _ => "sched",
                     };
                     events.push(instant(ev.name(), cat, tid, te.ts_ns, args));
@@ -253,6 +278,10 @@ pub struct TraceSummary {
     pub slices: usize,
     /// `ph:"i"` instants.
     pub instants: usize,
+    /// `ph:"s"` flow starts (the send half of a causal arrow).
+    pub flow_starts: usize,
+    /// `ph:"f"` flow ends (the receive half of a causal arrow).
+    pub flow_ends: usize,
     /// Distinct `tid`s carrying non-metadata events.
     pub lanes: usize,
 }
@@ -311,6 +340,32 @@ pub fn validate_chrome_trace(v: &Value) -> Result<TraceSummary, String> {
                     summary.slices += 1;
                 } else {
                     summary.instants += 1;
+                }
+            }
+            // Flow events: the arrows connecting a send to its receive
+            // across lanes/processes in a merged cluster trace. Both
+            // halves must carry a binding id.
+            "s" | "f" => {
+                let ts = require_key(ev, "ts", idx)?
+                    .as_f64()
+                    .ok_or_else(|| format!("traceEvents[{idx}].ts is not a number"))?;
+                if ts < 0.0 {
+                    return Err(format!("traceEvents[{idx}].ts is negative"));
+                }
+                let tid = require_key(ev, "tid", idx)?
+                    .as_u128()
+                    .ok_or_else(|| format!("traceEvents[{idx}].tid is not an integer"))?;
+                lane_tids.insert(tid);
+                let id = require_key(ev, "id", idx)?;
+                if id.as_str().is_none() && id.as_u128().is_none() {
+                    return Err(format!(
+                        "traceEvents[{idx}].id must be a string or integer"
+                    ));
+                }
+                if ph == "s" {
+                    summary.flow_starts += 1;
+                } else {
+                    summary.flow_ends += 1;
                 }
             }
             other => return Err(format!("traceEvents[{idx}].ph \"{other}\" unsupported")),

@@ -37,6 +37,8 @@ pub struct EventRing {
     tail: AtomicU64,
     /// Events dropped because the ring was full.
     dropped: AtomicU64,
+    /// Events evicted by `push_keep_latest` to make room.
+    overwritten: AtomicU64,
 }
 
 // SAFETY: slot payloads are only written by the producer that CAS-claimed
@@ -62,6 +64,7 @@ impl EventRing {
             head: AtomicU64::new(0),
             tail: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +113,35 @@ impl EventRing {
                 head = self.head.load(Ordering::Relaxed);
             }
         }
+    }
+
+    /// Append an event in flight-recorder mode: when the ring is full,
+    /// the *oldest* event is consumed and discarded to make room, so
+    /// the ring always holds the most recent `capacity()` events
+    /// (keep-last-N) instead of freezing its first lap. Overwritten
+    /// events are counted in [`overwritten`](Self::overwritten), not in
+    /// [`dropped`](Self::dropped) — losing old history is the mode's
+    /// contract, not a capture failure.
+    pub fn push_keep_latest(&self, ev: TimedEvent) {
+        loop {
+            if self.push(ev) {
+                return;
+            }
+            // `push` counted a drop for the full ring; reclassify it as
+            // an overwrite and evict the oldest entry. A concurrent
+            // drain may empty the ring between the failed push and the
+            // pop; the retry loop handles either winner.
+            self.dropped.fetch_sub(1, Ordering::Relaxed);
+            if self.pop().is_some() {
+                self.overwritten.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events evicted by [`push_keep_latest`](Self::push_keep_latest)
+    /// to make room for newer ones.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
     }
 
     /// Pop the oldest event, if any.
@@ -215,6 +247,48 @@ mod tests {
             next_expected += 1;
         }
         assert_eq!(next_expected, 1000);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn keep_latest_mode_holds_the_most_recent_window() {
+        let r = EventRing::new(4);
+        for i in 0..100 {
+            r.push_keep_latest(ev(i));
+        }
+        // The ring holds exactly the last `capacity` events, in order.
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![96, 97, 98, 99]
+        );
+        assert_eq!(r.overwritten(), 96);
+        assert_eq!(r.dropped(), 0, "overwrites are not capture failures");
+    }
+
+    #[test]
+    fn keep_latest_mode_survives_concurrent_producers() {
+        use std::sync::Arc;
+        let r = Arc::new(EventRing::new(64));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2048u64 {
+                    r.push_keep_latest(ev(p * 1_000_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained = r.drain();
+        assert!(drained.len() <= 64);
+        // Whatever survives is from the tail of some producer's stream.
+        for e in &drained {
+            assert!(e.ts_ns % 1_000_000 < 2048);
+        }
+        assert_eq!(r.overwritten() + drained.len() as u64, 4 * 2048);
         assert_eq!(r.dropped(), 0);
     }
 

@@ -28,9 +28,26 @@ use crate::ring::EventRing;
 /// 4 MiB per lane — enough for several seconds of saturated tracing.
 pub const DEFAULT_LANE_CAPACITY: usize = 1 << 18;
 
+/// How a lane's ring behaves when it fills.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RingMode {
+    /// Drop new events and count them (the PR 2 contract: tracing must
+    /// never perturb the scheduling it observes, and a full capture is
+    /// a capture failure you size the ring out of).
+    #[default]
+    DropNewest,
+    /// Flight recorder: evict the oldest event to admit the newest, so
+    /// each lane always holds the most recent `capacity` events. For
+    /// long-running nodes where the interesting window is the seconds
+    /// *before* a failure, dumped on `NodeUnreachable`, retry
+    /// exhaustion, or panic.
+    KeepLatest,
+}
+
 struct LaneInner {
     name: String,
     ring: EventRing,
+    mode: RingMode,
 }
 
 /// A registered lane's emission handle. Cheap to clone; cache it in the
@@ -49,7 +66,7 @@ impl LaneHandle {
     #[inline]
     pub fn emit(&self, event: Event) {
         let ts_ns = self.epoch.elapsed().as_nanos() as u64;
-        self.inner.ring.push(TimedEvent { ts_ns, event });
+        self.emit_at(ts_ns, event);
     }
 
     /// Record `event` with an explicit timestamp (used when the caller
@@ -57,7 +74,12 @@ impl LaneHandle {
     /// reporting after the fact).
     #[inline]
     pub fn emit_at(&self, ts_ns: u64, event: Event) {
-        self.inner.ring.push(TimedEvent { ts_ns, event });
+        match self.inner.mode {
+            RingMode::DropNewest => {
+                self.inner.ring.push(TimedEvent { ts_ns, event });
+            }
+            RingMode::KeepLatest => self.inner.ring.push_keep_latest(TimedEvent { ts_ns, event }),
+        }
     }
 
     /// Nanoseconds since the tracer's epoch — the same clock
@@ -77,14 +99,16 @@ impl LaneHandle {
 pub struct Tracer {
     epoch: Instant,
     lane_capacity: usize,
+    mode: RingMode,
     lanes: Mutex<Vec<Arc<LaneInner>>>,
 }
 
 impl Tracer {
-    fn new(lane_capacity: usize) -> Tracer {
+    fn new(lane_capacity: usize, mode: RingMode) -> Tracer {
         Tracer {
             epoch: Instant::now(),
             lane_capacity,
+            mode,
             lanes: Mutex::new(Vec::new()),
         }
     }
@@ -93,6 +117,7 @@ impl Tracer {
         let inner = Arc::new(LaneInner {
             name: name.to_string(),
             ring: EventRing::new(self.lane_capacity),
+            mode: self.mode,
         });
         self.lanes.lock().push(Arc::clone(&inner));
         LaneHandle {
@@ -140,19 +165,49 @@ pub fn install() -> bool {
 /// [`install`] with an explicit per-lane ring capacity (rounded up to a
 /// power of two).
 pub fn install_with_capacity(lane_capacity: usize) -> bool {
+    install_with(lane_capacity, RingMode::DropNewest)
+}
+
+/// [`install`] with an explicit per-lane ring capacity *and* ring mode.
+/// `RingMode::KeepLatest` turns every lane into a flight recorder
+/// holding the most recent `lane_capacity` events.
+pub fn install_with(lane_capacity: usize, mode: RingMode) -> bool {
     let mut slot = TRACER.lock();
     if slot.is_some() {
         return false;
     }
-    *slot = Some(Arc::new(Tracer::new(lane_capacity)));
+    *slot = Some(Arc::new(Tracer::new(lane_capacity, mode)));
     ACTIVE.store(true, Ordering::Relaxed);
     true
+}
+
+/// Nanoseconds since the installed tracer's epoch — the clock every
+/// lane stamps with, readable without a lane. `None` when no tracer is
+/// installed. This is the timestamp the clock-offset probes exchange:
+/// two processes comparing these values (through
+/// [`crate::clock::estimate_offset`]) learn the shift that maps one
+/// process's trace timeline onto the other's.
+pub fn global_now_ns() -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    TRACER
+        .lock()
+        .as_ref()
+        .map(|t| t.epoch.elapsed().as_nanos() as u64)
 }
 
 /// Whether a tracer is currently installed.
 #[inline]
 pub fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The installed tracer's ring mode, `None` when no tracer is
+/// installed. Lets failure paths ask "is this process a flight
+/// recorder?" before spending a drain + file write on a dump.
+pub fn mode() -> Option<RingMode> {
+    TRACER.lock().as_ref().map(|t| t.mode)
 }
 
 /// Register a lane with the installed tracer. Returns `None` (one
@@ -220,9 +275,28 @@ mod tests {
 
         // drain() left the tracer installed and the rings empty.
         a.emit(Event::Idle);
+        assert!(global_now_ns().is_some());
         let again = uninstall();
         assert_eq!(again[0].events.len(), 1);
         assert!(!active());
         assert!(register_lane("late").is_none());
+        assert!(global_now_ns().is_none());
+
+        // Flight-recorder install: lanes keep the last N events.
+        assert!(install_with(4, RingMode::KeepLatest));
+        let fr = register_lane("fr").unwrap();
+        for i in 0..40u32 {
+            fr.emit(Event::Unblock { thread: i });
+        }
+        let lanes = uninstall();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].events.len(), 4);
+        assert_eq!(lanes[0].dropped, 0);
+        let kept: Vec<u32> = lanes[0]
+            .events
+            .iter()
+            .filter_map(|e| e.event.thread())
+            .collect();
+        assert_eq!(kept, vec![36, 37, 38, 39]);
     }
 }

@@ -266,6 +266,8 @@ proptest! {
                         ctx,
                         kind,
                         len: 1,
+                        #[cfg(feature = "trace")]
+                        trace: 0,
                     };
                     srcs[usize::from(src)].isend(
                         dst_addr,

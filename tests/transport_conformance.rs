@@ -394,6 +394,92 @@ fn tcp_event_worlds_release_their_fds_and_threads() {
 }
 
 // ---------------------------------------------------------------------
+// Transport counters: monotone, and reported at full fidelity.
+// ---------------------------------------------------------------------
+
+/// Elementwise `a <= b` over every `TransportStatsSnapshot` counter —
+/// the invariant live telemetry depends on to turn absolute snapshots
+/// into per-tick delta rates with `saturating_sub`.
+fn stats_leq(
+    a: &chant::comm::TransportStatsSnapshot,
+    b: &chant::comm::TransportStatsSnapshot,
+) -> bool {
+    a.frames_sent <= b.frames_sent
+        && a.frames_received <= b.frames_received
+        && a.frame_bytes_sent <= b.frame_bytes_sent
+        && a.frame_bytes_received <= b.frame_bytes_received
+        && a.connects <= b.connects
+        && a.accepts <= b.accepts
+        && a.reconnects <= b.reconnects
+        && a.send_failures <= b.send_failures
+        && a.malformed_frames <= b.malformed_frames
+        && a.misrouted <= b.misrouted
+        && a.coalesced_writes <= b.coalesced_writes
+        && a.coalesced_frames <= b.coalesced_frames
+        && a.partial_writes <= b.partial_writes
+        && a.wakeups <= b.wakeups
+        && a.pool_hits <= b.pool_hits
+        && a.pool_misses <= b.pool_misses
+}
+
+for_each_transport!(transport_stats_deltas_are_monotone, |backend: Backend| {
+    use std::sync::Mutex;
+
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .transport(backend.config())
+        .build();
+    let world = cluster.world().clone();
+    let before = world.transport_stats();
+    let mids = Arc::new(Mutex::new(Vec::new()));
+    let mids2 = Arc::clone(&mids);
+    let world2 = world.clone();
+    let report = cluster.run(move |node| {
+        let me = node.self_id();
+        let peer = ChanterId::new(1 - me.pe, 0, me.thread);
+        for i in 0u32..48 {
+            node.send(peer, 6, &i.to_le_bytes()).unwrap();
+        }
+        // Mid-run snapshot from each node's thread, concurrent with the
+        // peer's traffic: must still sit between `before` and the final
+        // report, because counters only ever increase.
+        mids2.lock().unwrap().push(world2.transport_stats());
+        for _ in 0..48 {
+            node.recv_tag(6).unwrap();
+        }
+    });
+    let after = world.transport_stats();
+    for (i, mid) in mids.lock().unwrap().iter().enumerate() {
+        assert!(
+            stats_leq(&before, mid),
+            "[{backend:?}] counter went backwards before->mid[{i}]: {before:?} vs {mid:?}"
+        );
+        assert!(
+            stats_leq(mid, &report.transport),
+            "[{backend:?}] counter went backwards mid[{i}]->report: {mid:?} vs {:?}",
+            report.transport
+        );
+    }
+    assert!(
+        stats_leq(&report.transport, &after),
+        "[{backend:?}] counter went backwards report->after: {:?} vs {after:?}",
+        report.transport
+    );
+    // The report must carry the socket backends' counters at full
+    // fidelity — the event-loop backend included (its stats once lagged
+    // the legacy drain-thread backend's).
+    if backend != Backend::InProcess {
+        let t = &report.transport;
+        assert!(t.frames_sent > 0 && t.frames_received > 0, "[{backend:?}] {t:?}");
+        assert!(t.connects > 0 && t.accepts > 0, "[{backend:?}] {t:?}");
+        assert!(
+            t.pool_hits + t.pool_misses > 0,
+            "[{backend:?}] buffer pool unreported: {t:?}"
+        );
+    }
+});
+
+// ---------------------------------------------------------------------
 // One-sided memory: exactly-once atomics under duplication + reordering.
 // ---------------------------------------------------------------------
 
