@@ -1,0 +1,152 @@
+//! Scheduler saturation vs worker-lane count, dumped to
+//! `bench_results/BENCH_PR8.json`.
+//!
+//! Two probes, each swept over `CHANT_VPS`-style lane counts 1/2/4/8:
+//!
+//! * **Spawn rate**: threads/sec to spawn and run to completion a batch
+//!   of short-lived user-level threads on a raw `Vp` — the scheduler's
+//!   thread-management throughput.
+//! * **Match rate**: msgs/sec matched by a 2-PE in-process cluster with
+//!   a set of chanter pairs ping-ponging thread-named messages — the
+//!   end-to-end figure the multi-VP work was done for. Endpoint
+//!   delivery is lane-affine, so this also exercises the invariant that
+//!   stealing moves computation without moving endpoint ownership.
+//!
+//! The acceptance criterion for the multi-VP scheduler (match rate
+//! scaling ≥ 2× from 1 to 4 lanes) only applies on a host with at least
+//! 4 cores, so the snapshot records `host_cores`: on a single-core box
+//! the lanes time-slice one CPU and the sweep measures overhead, not
+//! speedup.
+//!
+//! Run with: `cargo run --release -p chant-bench --bin ult_scale`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use chant_bench::results_dir;
+use chant_core::{ChantCluster, ChanterId};
+use chant_ult::{SpawnAttr, Vp, VpConfig};
+
+/// Threads per spawn-rate batch.
+const SPAWN_N: u32 = 2_000;
+/// Chanter pairs per node in the match-rate probe.
+const PAIRS: u32 = 8;
+/// Ping-pong round trips per pair (each round trip matches 2 messages).
+const ROUNDS: u32 = 200;
+/// Lane counts swept.
+const LANES: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct ScaleLine {
+    vps: usize,
+    /// Short-lived threads spawned and retired per second on a raw Vp.
+    spawn_threads_per_sec: f64,
+    /// Messages matched per second across the 2-PE cluster.
+    match_msgs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    snapshot: String,
+    /// CPUs available to this process; the 1→4 lane scaling criterion
+    /// only binds when this is ≥ 4.
+    host_cores: usize,
+    scale: Vec<ScaleLine>,
+}
+
+/// Spawn-rate probe: time to spawn `SPAWN_N` threads (each yielding
+/// once so every one traverses the ready queues) and drain them all.
+fn spawn_rate(vps: usize) -> f64 {
+    let vp = Vp::new(VpConfig::named(format!("ult-scale-{vps}")).with_vps(vps));
+    let done = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let d2 = Arc::clone(&done);
+    let spawner = vp.spawn(SpawnAttr::new(), move |vp| {
+        for _ in 0..SPAWN_N {
+            let d = Arc::clone(&d2);
+            vp.spawn(SpawnAttr::new().detached(), move |vp| {
+                vp.yield_now();
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    vp.start();
+    spawner.join().expect("spawner");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(done.load(Ordering::Relaxed), u64::from(SPAWN_N));
+    f64::from(SPAWN_N) / elapsed
+}
+
+/// Match-rate probe: `PAIRS` chanter pairs across a 2-PE in-process
+/// cluster, each ping-ponging `ROUNDS` times on its own tag. Chanter
+/// tids are assigned by each node's main thread in spawn order, so the
+/// pe-0 and pe-1 partners share a tid and can name each other directly.
+fn match_rate(vps: usize) -> f64 {
+    let cluster = ChantCluster::builder()
+        .pes(2)
+        .server(false)
+        .vps(vps)
+        .build();
+    let t0 = Instant::now();
+    cluster.run(|node| {
+        let me = node.self_id();
+        let mut workers = Vec::new();
+        for _ in 0..PAIRS {
+            workers.push(node.spawn_chanter(SpawnAttr::new(), move |node| {
+                let my = node.self_id();
+                let peer = ChanterId::new(1 - my.pe, my.process, my.thread);
+                let tag = my.thread as i32;
+                if my.pe == 0 {
+                    for i in 0..ROUNDS {
+                        node.send(peer, tag, &i.to_le_bytes()).unwrap();
+                        node.recv_tag(tag).unwrap();
+                    }
+                } else {
+                    for i in 0..ROUNDS {
+                        node.recv_tag(tag).unwrap();
+                        node.send(peer, tag, &i.to_le_bytes()).unwrap();
+                    }
+                }
+                bytes::Bytes::new()
+            }));
+        }
+        let _ = me;
+        for w in workers {
+            node.remote_join(w).unwrap();
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    // Every round trip matches one message on each side.
+    f64::from(2 * PAIRS * ROUNDS) / elapsed
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut scale = Vec::new();
+    for vps in LANES {
+        let line = ScaleLine {
+            vps,
+            spawn_threads_per_sec: spawn_rate(vps),
+            match_msgs_per_sec: match_rate(vps),
+        };
+        println!(
+            "vps={:2}  {:10.0} threads/s spawned  {:10.0} msgs/s matched",
+            line.vps, line.spawn_threads_per_sec, line.match_msgs_per_sec
+        );
+        scale.push(line);
+    }
+    let snapshot = Snapshot {
+        snapshot: "BENCH_PR8".to_string(),
+        host_cores,
+        scale,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    let path = results_dir().join("BENCH_PR8.json");
+    std::fs::write(&path, json + "\n").expect("write snapshot");
+    println!("host_cores={host_cores}  wrote {}", path.display());
+}

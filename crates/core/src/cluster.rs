@@ -48,6 +48,7 @@ pub struct ClusterBuilder {
     transport: TransportConfig,
     profile: CommProfile,
     telemetry: Option<Duration>,
+    vps: usize,
     entries: HashMap<String, EntryFn>,
     handlers: HandlerTable,
 }
@@ -71,6 +72,7 @@ impl ClusterBuilder {
                 .and_then(|v| v.parse::<u64>().ok())
                 .filter(|&ms| ms > 0)
                 .map(Duration::from_millis),
+            vps: chant_ult::VpConfig::vps_from_env(),
             entries: HashMap::new(),
             handlers: HashMap::new(),
         }
@@ -179,6 +181,19 @@ impl ClusterBuilder {
     pub fn telemetry(mut self, interval: Duration) -> ClusterBuilder {
         assert!(!interval.is_zero(), "telemetry interval must be positive");
         self.telemetry = Some(interval);
+        self
+    }
+
+    /// Worker lanes (virtual processors) per node's scheduler (default:
+    /// the `CHANT_VPS` environment variable, else 1). At 1 the scheduler
+    /// is the paper's single-VP model, bit-identical to prior releases;
+    /// above 1 each node runs that many OS worker lanes with
+    /// work-stealing between their ready queues. Endpoint delivery stays
+    /// affine to the node, so the O(1) matching structures remain
+    /// uncontended regardless of the lane count.
+    pub fn vps(mut self, vps: usize) -> ClusterBuilder {
+        assert!(vps > 0, "a node needs at least one worker lane");
+        self.vps = vps;
         self
     }
 
@@ -305,6 +320,7 @@ impl ClusterBuilder {
                     self.policy,
                     self.retry.clone(),
                     self.dedup_window,
+                    self.vps,
                     Arc::clone(&entries),
                     Arc::clone(&handlers),
                 ));

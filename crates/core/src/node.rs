@@ -92,10 +92,11 @@ impl ChantNode {
         policy: PollingPolicy,
         retry: Option<RetryPolicy>,
         dedup_window: usize,
+        vps: usize,
         entries: Arc<HashMap<String, EntryFn>>,
         handlers: Arc<HandlerTable>,
     ) -> Arc<ChantNode> {
-        let vp = Vp::new(chant_ult::VpConfig::named(format!("pe{pe}.{process}")));
+        let vp = Vp::new(chant_ult::VpConfig::named(format!("pe{pe}.{process}")).with_vps(vps));
         let endpoint = world.endpoint(Address::new(pe, process));
         let engine = PollEngine::install(Arc::clone(&vp), policy);
         // Socket-backed worlds: drive the transport's event loop from

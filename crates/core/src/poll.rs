@@ -306,9 +306,10 @@ impl SchedulerHook for TransportProgressHook {
     }
 
     fn on_idle(&self) {
-        // Single-VP counters: on_idle is only ever called by the thread
-        // holding this VP's scheduling baton, so relaxed ordering and
-        // a load/store pair (not RMW) are enough.
+        // on_idle calls are serialized by the scheduler's hook gate (one
+        // lane sweeps at a time, and only when the whole lane set is
+        // idle), so relaxed ordering and a load/store pair (not RMW)
+        // are still enough even at n_vps > 1.
         let skip = self.skip.load(Ordering::Relaxed);
         if skip > 0 {
             self.skip.store(skip - 1, Ordering::Relaxed);

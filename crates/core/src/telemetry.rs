@@ -144,8 +144,17 @@ impl Sink {
 /// sink even when the run is shorter than one interval.
 pub(crate) struct Emitter {
     stop: Arc<(Mutex<bool>, Condvar)>,
-    thread: std::thread::JoinHandle<()>,
+    /// `None` when the OS refused the thread: telemetry is disabled for
+    /// this run but the run itself proceeds.
+    thread: Option<std::thread::JoinHandle<()>>,
 }
+
+/// Times an [`Emitter::start`] failed to spawn its background thread
+/// (process-wide). Telemetry is an observer — a resource-exhausted host
+/// that cannot spare one more OS thread must not take the workload down
+/// with it, so the failure is counted and the emitter degrades to a
+/// no-op instead of panicking.
+pub static SPAWN_FAILURES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Emitter {
     pub fn start(interval: Duration, nodes: Vec<Arc<ChantNode>>, world: CommWorld) -> Emitter {
@@ -154,14 +163,20 @@ impl Emitter {
         let thread = std::thread::Builder::new()
             .name("chant-telemetry".into())
             .spawn(move || run(interval, &nodes, &world, &stop2))
-            .expect("spawn telemetry emitter");
+            .map_err(|e| {
+                SPAWN_FAILURES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                eprintln!("chant: telemetry emitter thread failed to spawn ({e}); telemetry disabled for this run");
+            })
+            .ok();
         Emitter { stop, thread }
     }
 
     pub fn stop(self) {
         *self.stop.0.lock() = true;
         self.stop.1.notify_one();
-        let _ = self.thread.join();
+        if let Some(thread) = self.thread {
+            let _ = thread.join();
+        }
     }
 }
 

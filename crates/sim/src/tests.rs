@@ -524,3 +524,69 @@ fn pingpong_sp_single_thread_pays_full_switches() {
         m.full_switches()
     );
 }
+
+#[test]
+fn cost_model_without_vps_field_deserializes_to_one() {
+    // Cost models recorded before `vps_per_pe` existed must keep loading.
+    let v = serde::Serialize::serialize(&CostModel::paragon_polling());
+    let mut m = match v {
+        serde::Value::Object(m) => m,
+        other => panic!("expected object, got {other:?}"),
+    };
+    m.remove("vps_per_pe");
+    let old: CostModel =
+        serde::Deserialize::deserialize(&serde::Value::Object(m)).expect("legacy model loads");
+    assert_eq!(old.vps_per_pe, 1);
+    assert_eq!(old, CostModel::paragon_polling());
+}
+
+#[test]
+fn polling_run_at_one_vp_is_bit_identical_to_the_unparameterized_model() {
+    let cfg = PollingConfig {
+        iterations: 20,
+        ..PollingConfig::default()
+    };
+    let base = polling_run(unit(), PollingPolicy::SchedulerPollsPs, 50, 10, cfg).unwrap();
+    let k1 = polling_run(
+        unit().with_vps(1),
+        PollingPolicy::SchedulerPollsPs,
+        50,
+        10,
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(base.time_ms, k1.time_ms);
+    assert_eq!(base.full_switches, k1.full_switches);
+    assert_eq!(base.msgtest_attempted, k1.msgtest_attempted);
+    assert_eq!(base.messages, k1.messages);
+}
+
+#[test]
+fn polling_run_with_multiple_vps_per_pe_conserves_messages_and_gets_faster() {
+    // Spreading a PE's threads over k concurrently-advancing lanes must
+    // deliver exactly the same messages; with per-lane schedulers the
+    // serialization of context switches relaxes, so simulated time must
+    // not increase.
+    let cfg = PollingConfig {
+        iterations: 20,
+        ..PollingConfig::default()
+    };
+    let k1 = polling_run(unit(), PollingPolicy::SchedulerPollsPs, 50, 10, cfg).unwrap();
+    for k in [2u32, 4] {
+        let kn = polling_run(
+            unit().with_vps(k),
+            PollingPolicy::SchedulerPollsPs,
+            50,
+            10,
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(kn.messages, k1.messages, "k={k} must move the same messages");
+        assert!(
+            kn.time_ms <= k1.time_ms,
+            "k={k} slower than single-lane: {} > {}",
+            kn.time_ms,
+            k1.time_ms
+        );
+    }
+}

@@ -54,6 +54,10 @@ pub struct SpawnAttr {
     /// uses the platform default. The paper's Table 1 systems expose
     /// "stack management routines"; we forward the request to the OS.
     pub(crate) stack_size: Option<usize>,
+    /// Preferred worker lane (VP) on a multi-VP processor; `None` uses
+    /// round-robin placement. Taken modulo the VP's worker count, so a
+    /// fixed affinity is safe whatever `CHANT_VPS` resolves to.
+    pub(crate) affinity: Option<usize>,
 }
 
 impl SpawnAttr {
@@ -84,6 +88,14 @@ impl SpawnAttr {
     /// Request a specific stack size for the backing OS thread.
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Pin the thread's home run queue to the given worker lane (taken
+    /// modulo the VP's worker count). The thread requeues there on every
+    /// yield/unblock; idle workers may still steal individual dispatches.
+    pub fn affinity(mut self, worker: usize) -> Self {
+        self.affinity = Some(worker);
         self
     }
 }
@@ -126,5 +138,11 @@ mod tests {
         assert_eq!(attr.priority, Priority::NORMAL);
         assert!(!attr.detached);
         assert!(attr.name.is_none());
+        assert!(attr.affinity.is_none());
+    }
+
+    #[test]
+    fn affinity_builder_sets_lane() {
+        assert_eq!(SpawnAttr::new().affinity(3).affinity, Some(3));
     }
 }

@@ -1,10 +1,21 @@
 //! Virtual-processor configuration.
 
+/// Environment variable selecting the number of worker lanes (VPs) per
+/// [`crate::Vp`]; see [`VpConfig::n_vps`]. Unset, `0`, or unparsable
+/// values mean 1 (the paper's single-VP model).
+pub const VPS_ENV: &str = "CHANT_VPS";
+
 /// Tuning knobs for a [`crate::Vp`].
 #[derive(Clone, Debug)]
 pub struct VpConfig {
     /// Human-readable name of the VP, used in OS thread names and panics.
     pub name: String,
+    /// Number of worker lanes multiplexing this VP's threads (default 1).
+    /// Each worker owns a run queue and a scheduling baton; idle workers
+    /// steal dispatches from the others' queues. At 1 the scheduler is
+    /// exactly the paper's single-VP model — same code path, same counter
+    /// stream.
+    pub n_vps: usize,
     /// Number of consecutive empty schedule rounds after which the idle
     /// loop starts calling `std::thread::yield_now()` between rounds, so an
     /// idle VP does not starve other VPs hosted on the same machine.
@@ -22,6 +33,7 @@ impl Default for VpConfig {
     fn default() -> Self {
         VpConfig {
             name: "vp".to_string(),
+            n_vps: 1,
             idle_spins_before_os_yield: 4,
             deadlock_spin_limit: 1_000_000,
         }
@@ -36,6 +48,21 @@ impl VpConfig {
             ..Default::default()
         }
     }
+
+    /// Set the number of worker lanes (clamped to ≥ 1).
+    pub fn with_vps(mut self, n: usize) -> Self {
+        self.n_vps = n.max(1);
+        self
+    }
+
+    /// The worker-lane count requested via [`VPS_ENV`], or 1.
+    pub fn vps_from_env() -> usize {
+        std::env::var(VPS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
@@ -46,9 +73,16 @@ mod tests {
     fn named_keeps_defaults() {
         let c = VpConfig::named("pe0");
         assert_eq!(c.name, "pe0");
+        assert_eq!(c.n_vps, 1);
         assert_eq!(
             c.deadlock_spin_limit,
             VpConfig::default().deadlock_spin_limit
         );
+    }
+
+    #[test]
+    fn with_vps_clamps_to_one() {
+        assert_eq!(VpConfig::default().with_vps(0).n_vps, 1);
+        assert_eq!(VpConfig::default().with_vps(4).n_vps, 4);
     }
 }

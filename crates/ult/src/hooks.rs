@@ -52,10 +52,28 @@ pub enum DispatchDecision {
 
 /// A scheduler extension installed on a [`crate::Vp`].
 ///
-/// Hooks are invoked by whichever OS thread currently holds the VP's
-/// scheduling baton, never concurrently with themselves, and never while
-/// the VP's internal run-queue lock is held (so a hook may freely call
-/// back into the VP, e.g. to unblock a thread).
+/// Hooks are invoked by OS threads holding one of the VP's scheduling
+/// batons, never while any VP-internal run-queue or directory lock is
+/// held (so a hook may freely call back into the VP, e.g. to unblock a
+/// thread). The concurrency contract on a multi-lane VP
+/// ([`crate::VpConfig::n_vps`] > 1):
+///
+/// * [`Self::at_schedule_point`] and [`Self::on_idle`] are serialized
+///   across lanes by a try-lock gate and therefore never run
+///   concurrently with themselves or each other — but an individual lane
+///   may *skip* its sweep when another lane's is in flight, so neither
+///   callback may be relied on to run on every schedule point of every
+///   lane. The holder's sweep services all lanes' threads.
+/// * [`Self::before_dispatch`] may run concurrently on different lanes
+///   for *different* candidate threads (each call is made under its own
+///   candidate's pending-slot lock). It is never called twice
+///   concurrently for the same thread.
+/// * [`Self::on_idle`] fires only when **every** lane of the VP is
+///   simultaneously out of work, not when a single lane's queue happens
+///   to be empty — a busy sibling lane is already making progress.
+///
+/// At `n_vps == 1` the gate is uncontended and this reduces to the
+/// original single-baton contract: never concurrent with anything.
 pub trait SchedulerHook: Send + Sync {
     /// Called at every schedule point, before the ready queue is examined.
     /// A WQ-style hook scans its request list here and calls
@@ -89,7 +107,9 @@ pub trait SchedulerHook: Send + Sync {
     /// transport itself): the VP has nothing better to do, so it reaps
     /// socket completions that may unblock one of its threads. Never
     /// called on the dispatch hot path, so an implementation may make a
-    /// syscall. Default: nothing.
+    /// syscall. On a multi-lane VP it fires only when the whole lane set
+    /// is idle, serialized by the hook gate (see the trait docs).
+    /// Default: nothing.
     fn on_idle(&self) {}
 }
 

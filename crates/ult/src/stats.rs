@@ -26,6 +26,9 @@ pub struct VpStats {
     pub partial_switches: AtomicU64,
     /// Schedule points: times the scheduler looked for the next thread.
     pub schedule_points: AtomicU64,
+    /// Dispatches stolen from another worker's run queue (multi-VP only;
+    /// always zero at `n_vps == 1`).
+    pub steals: AtomicU64,
     /// Voluntary yields from running threads.
     pub yields: AtomicU64,
     /// Threads that entered the Blocked state.
@@ -53,6 +56,7 @@ impl VpStats {
             self_redispatches: self.self_redispatches.load(Ordering::Relaxed),
             partial_switches: self.partial_switches.load(Ordering::Relaxed),
             schedule_points: self.schedule_points.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
             yields: self.yields.load(Ordering::Relaxed),
             blocks: self.blocks.load(Ordering::Relaxed),
             unblocks: self.unblocks.load(Ordering::Relaxed),
@@ -74,6 +78,8 @@ pub struct StatsSnapshot {
     pub partial_switches: u64,
     /// See [`VpStats::schedule_points`].
     pub schedule_points: u64,
+    /// See [`VpStats::steals`].
+    pub steals: u64,
     /// See [`VpStats::yields`].
     pub yields: u64,
     /// See [`VpStats::blocks`].
@@ -100,6 +106,7 @@ impl StatsSnapshot {
                 .saturating_sub(earlier.self_redispatches),
             partial_switches: self.partial_switches.saturating_sub(earlier.partial_switches),
             schedule_points: self.schedule_points.saturating_sub(earlier.schedule_points),
+            steals: self.steals.saturating_sub(earlier.steals),
             yields: self.yields.saturating_sub(earlier.yields),
             blocks: self.blocks.saturating_sub(earlier.blocks),
             unblocks: self.unblocks.saturating_sub(earlier.unblocks),

@@ -16,17 +16,23 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex as PlMutex;
 
 use crate::current;
+use crate::error::UltError;
 use crate::tcb::Tid;
 use crate::vp::Vp;
 
-fn current_on(expect_vp: &Arc<Vp>) -> Tid {
+/// The calling ULT's tid, or [`UltError::NotUltContext`] when called from
+/// an ordinary OS thread (e.g. a transport drain thread or a test
+/// harness) — far likelier to happen by accident now that one VP's
+/// threads span several OS threads. Cross-VP sharing stays an assert: it
+/// is a same-process programming error, not a runtime condition.
+fn current_on(expect_vp: &Arc<Vp>) -> Result<Tid, UltError> {
     current::with_current(|c| {
-        let ctx = c.expect("ULT sync primitive used outside a user-level thread");
+        let ctx = c.ok_or(UltError::NotUltContext)?;
         assert!(
             Arc::ptr_eq(&ctx.vp, expect_vp),
             "ULT sync primitive shared across VPs (address spaces); use Chant messaging instead"
         );
-        ctx.tcb.id
+        Ok(ctx.tcb.id)
     })
 }
 
@@ -92,8 +98,11 @@ impl<T> UltMutex<T> {
 
 impl<T: ?Sized> UltMutex<T> {
     /// Acquire the lock, blocking the calling user-level thread if needed.
-    pub fn lock(self: &Arc<Self>) -> UltMutexGuard<'_, T> {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn lock(self: &Arc<Self>) -> Result<UltMutexGuard<'_, T>, UltError> {
+        let me = current_on(&self.vp)?;
         loop {
             {
                 let mut st = self.state.lock();
@@ -112,19 +121,23 @@ impl<T: ?Sized> UltMutex<T> {
             }
             self.vp.block();
         }
-        UltMutexGuard { mutex: self }
+        Ok(UltMutexGuard { mutex: self })
     }
 
-    /// Try to acquire the lock without blocking.
-    pub fn try_lock(self: &Arc<Self>) -> Option<UltMutexGuard<'_, T>> {
-        let me = current_on(&self.vp);
+    /// Try to acquire the lock without blocking. `Ok(None)` means the
+    /// lock is held by another thread.
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn try_lock(self: &Arc<Self>) -> Result<Option<UltMutexGuard<'_, T>>, UltError> {
+        let me = current_on(&self.vp)?;
         let mut st = self.state.lock();
         if st.owner.is_none() {
             st.owner = Some(me);
             drop(st);
-            Some(UltMutexGuard { mutex: self })
+            Ok(Some(UltMutexGuard { mutex: self }))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -179,8 +192,15 @@ impl UltCondvar {
     /// Atomically release `guard`'s mutex and wait for a notification, then
     /// re-acquire the mutex before returning. As with POSIX, spurious
     /// wakeups are possible: callers must re-check their predicate.
-    pub fn wait<'a, T: ?Sized>(&self, guard: UltMutexGuard<'a, T>) -> UltMutexGuard<'a, T> {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread
+    /// (impossible in practice: the guard proves a ULT acquired the lock).
+    pub fn wait<'a, T: ?Sized>(
+        &self,
+        guard: UltMutexGuard<'a, T>,
+    ) -> Result<UltMutexGuard<'a, T>, UltError> {
+        let me = current_on(&self.vp)?;
         let mutex = guard.mutex;
         self.waiters.lock().push_back(me);
         drop(guard); // release the mutex
@@ -197,8 +217,8 @@ impl UltCondvar {
         &self,
         guard: UltMutexGuard<'a, T>,
         timeout: Duration,
-    ) -> (UltMutexGuard<'a, T>, bool) {
-        let me = current_on(&self.vp);
+    ) -> Result<(UltMutexGuard<'a, T>, bool), UltError> {
+        let me = current_on(&self.vp)?;
         let mutex = guard.mutex;
         let deadline = Instant::now() + timeout;
         self.waiters.lock().push_back(me);
@@ -209,7 +229,7 @@ impl UltCondvar {
             // wake token, since we were Ready rather than Blocked; that
             // is harmless — every block loop tolerates spurious wakes.)
             if !self.waiters.lock().contains(&me) {
-                return (mutex.lock(), false);
+                return Ok((mutex.lock()?, false));
             }
             if Instant::now() >= deadline {
                 // Remove ourselves so a future notification is not
@@ -219,7 +239,7 @@ impl UltCondvar {
                     w.remove(i);
                 }
                 drop(w);
-                return (mutex.lock(), true);
+                return Ok((mutex.lock()?, true));
             }
         }
     }
@@ -268,8 +288,11 @@ impl UltBarrier {
 
     /// Wait until all parties have arrived. Returns `true` for exactly one
     /// thread per generation (the "leader"), like `std::sync::Barrier`.
-    pub fn wait(&self) -> bool {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn wait(&self) -> Result<bool, UltError> {
+        let me = current_on(&self.vp)?;
         let my_gen;
         {
             let mut st = self.state.lock();
@@ -283,14 +306,14 @@ impl UltBarrier {
                 for t in to_wake {
                     let _ = self.vp.unblock(t);
                 }
-                return true;
+                return Ok(true);
             }
         }
         loop {
             self.vp.block();
             let st = self.state.lock();
             if st.generation != my_gen {
-                return false;
+                return Ok(false);
             }
         }
     }
@@ -321,14 +344,17 @@ impl UltSemaphore {
 
     /// Acquire one permit, blocking the calling thread if none are
     /// available.
-    pub fn acquire(&self) {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn acquire(&self) -> Result<(), UltError> {
+        let me = current_on(&self.vp)?;
         loop {
             {
                 let mut st = self.state.lock();
                 if st.permits > 0 {
                     st.permits -= 1;
-                    return;
+                    return Ok(());
                 }
                 if !st.waiters.contains(&me) {
                     st.waiters.push_back(me);
@@ -341,8 +367,8 @@ impl UltSemaphore {
     /// Acquire one permit, giving up after `timeout`. Returns whether a
     /// permit was acquired. Polls by yielding, like
     /// [`UltCondvar::wait_timeout`].
-    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
-        let me = current_on(&self.vp);
+    pub fn acquire_timeout(&self, timeout: Duration) -> Result<bool, UltError> {
+        let me = current_on(&self.vp)?;
         let deadline = Instant::now() + timeout;
         loop {
             {
@@ -353,13 +379,13 @@ impl UltSemaphore {
                     if let Some(i) = queued {
                         st.waiters.remove(i);
                     }
-                    return true;
+                    return Ok(true);
                 }
                 if Instant::now() >= deadline {
                     if let Some(i) = queued {
                         st.waiters.remove(i);
                     }
-                    return false;
+                    return Ok(false);
                 }
                 if queued.is_none() {
                     st.waiters.push_back(me);
@@ -433,14 +459,17 @@ impl<T> UltRwLock<T> {
 
 impl<T: ?Sized> UltRwLock<T> {
     /// Acquire shared (read) access.
-    pub fn read(self: &Arc<Self>) -> UltReadGuard<'_, T> {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn read(self: &Arc<Self>) -> Result<UltReadGuard<'_, T>, UltError> {
+        let me = current_on(&self.vp)?;
         loop {
             {
                 let mut st = self.state.lock();
                 if st.readers != WRITER_ACTIVE && st.waiting_writers.is_empty() {
                     st.readers += 1;
-                    return UltReadGuard { lock: self };
+                    return Ok(UltReadGuard { lock: self });
                 }
                 if !st.waiting_readers.contains(&me) {
                     st.waiting_readers.push_back(me);
@@ -451,14 +480,17 @@ impl<T: ?Sized> UltRwLock<T> {
     }
 
     /// Acquire exclusive (write) access.
-    pub fn write(self: &Arc<Self>) -> UltWriteGuard<'_, T> {
-        let me = current_on(&self.vp);
+    ///
+    /// # Errors
+    /// [`UltError::NotUltContext`] when called from a non-ULT OS thread.
+    pub fn write(self: &Arc<Self>) -> Result<UltWriteGuard<'_, T>, UltError> {
+        let me = current_on(&self.vp)?;
         loop {
             {
                 let mut st = self.state.lock();
                 if st.readers == 0 {
                     st.readers = WRITER_ACTIVE;
-                    return UltWriteGuard { lock: self };
+                    return Ok(UltWriteGuard { lock: self });
                 }
                 if !st.waiting_writers.contains(&me) {
                     st.waiting_writers.push_back(me);

@@ -8,7 +8,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -109,6 +109,21 @@ pub(crate) struct Tcb {
     pub life: Mutex<Lifecycle>,
     /// Wakeup token consumed by `block` if an `unblock` raced ahead of it.
     pub wake_token: Mutex<bool>,
+    /// The worker (VP lane) this thread requeues on when it becomes ready:
+    /// its placement affinity. Stealing moves a single dispatch, never the
+    /// home — a stolen thread's next yield/unblock returns it here.
+    pub home: AtomicUsize,
+    /// The worker whose scheduling baton this thread currently holds (set
+    /// by the dispatcher just before the permit is granted). `yield`,
+    /// `block`, and exit reschedule on behalf of this worker.
+    pub running_on: AtomicUsize,
+    /// True while the thread is parked on (or guaranteed to next consume)
+    /// its permit, i.e. it is safe for *another* worker to grant it. False
+    /// from the moment `permit.wait()` returns until just before the next
+    /// `wait` — in that window the thread may still be running the
+    /// scheduler for its old worker, and granting it from elsewhere would
+    /// strand that worker's baton. Single-worker VPs never consult this.
+    pub parked: AtomicBool,
     /// Condvar (paired with `life`) for joiners on foreign OS threads.
     pub ext_cv: Condvar,
     /// Thread-local data slots (pthread_key style), keyed by TlsKey id.
@@ -137,6 +152,11 @@ impl Tcb {
             }),
             tls: Mutex::new(HashMap::new()),
             wake_token: Mutex::new(false),
+            home: AtomicUsize::new(0),
+            running_on: AtomicUsize::new(0),
+            // A thread that has not yet been dispatched will consume the
+            // first grant whenever its OS thread reaches `permit.wait`.
+            parked: AtomicBool::new(true),
             ext_cv: Condvar::new(),
             #[cfg(feature = "trace")]
             blocked_at_ns: std::sync::atomic::AtomicU64::new(0),

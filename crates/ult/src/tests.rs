@@ -409,7 +409,7 @@ fn mutex_provides_mutual_exclusion() {
                 let m = Arc::clone(&m);
                 handles.push(vp.spawn(SpawnAttr::new(), move |vp| {
                     for _ in 0..100 {
-                        let mut g = m.lock();
+                        let mut g = m.lock().unwrap();
                         let v = *g;
                         vp.yield_now(); // try hard to interleave critical sections
                         *g = v + 1;
@@ -420,7 +420,7 @@ fn mutex_provides_mutual_exclusion() {
             for h in handles {
                 h.join().unwrap();
             }
-            let total = *m.lock();
+            let total = *m.lock().unwrap();
             total
         })
         .unwrap();
@@ -433,13 +433,15 @@ fn mutex_try_lock_fails_when_held() {
     let vp2 = Arc::clone(&vp);
     vp.run(move |vp| {
         let m = UltMutex::new(&vp2, ());
-        let g = m.lock();
+        let g = m.lock().unwrap();
         let m2 = Arc::clone(&m);
-        let h = vp.spawn(SpawnAttr::new(), move |_| m2.try_lock().is_none());
+        let h = vp.spawn(SpawnAttr::new(), move |_| {
+            m2.try_lock().unwrap().is_none()
+        });
         let contended = h.join().unwrap();
         assert!(contended);
         drop(g);
-        assert!(m.try_lock().is_some());
+        assert!(m.try_lock().unwrap().is_some());
     })
     .unwrap();
 }
@@ -454,14 +456,14 @@ fn condvar_wakes_waiter() {
             let cv = UltCondvar::new(&vp2);
             let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
             let waiter = vp.spawn(SpawnAttr::new(), move |_| {
-                let mut g = m2.lock();
+                let mut g = m2.lock().unwrap();
                 while !*g {
-                    g = cv2.wait(g);
+                    g = cv2.wait(g).unwrap();
                 }
                 "woken"
             });
             vp.yield_now(); // let the waiter get to the wait
-            *m.lock() = true;
+            *m.lock().unwrap() = true;
             cv.notify_one();
             waiter.join().unwrap()
         })
@@ -482,9 +484,9 @@ fn condvar_notify_all_wakes_everyone() {
             for _ in 0..5 {
                 let (m, cv, woken) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&woken));
                 hs.push(vp.spawn(SpawnAttr::new(), move |_| {
-                    let mut g = m.lock();
+                    let mut g = m.lock().unwrap();
                     while *g == 0 {
-                        g = cv.wait(g);
+                        g = cv.wait(g).unwrap();
                     }
                     woken.fetch_add(1, Ordering::Relaxed);
                 }));
@@ -492,7 +494,7 @@ fn condvar_notify_all_wakes_everyone() {
             for _ in 0..3 {
                 vp.yield_now();
             }
-            *m.lock() = 1;
+            *m.lock().unwrap() = 1;
             cv.notify_all();
             for h in hs {
                 h.join().unwrap();
@@ -515,7 +517,7 @@ fn barrier_releases_all_parties_with_one_leader() {
             for _ in 0..4 {
                 let (b, leaders) = (Arc::clone(&b), Arc::clone(&leaders));
                 hs.push(vp.spawn(SpawnAttr::new(), move |_| {
-                    if b.wait() {
+                    if b.wait().unwrap() {
                         leaders.fetch_add(1, Ordering::Relaxed);
                     }
                 }));
@@ -541,7 +543,7 @@ fn barrier_is_reusable_across_generations() {
             let (b, phase) = (Arc::clone(&b), Arc::clone(&phase));
             hs.push(vp.spawn(SpawnAttr::new(), move |_| {
                 for p in 0..3u32 {
-                    b.wait();
+                    b.wait().unwrap();
                     // After each barrier, everyone agrees on the phase.
                     let seen = phase.load(Ordering::SeqCst);
                     assert!(seen == p || seen == p + 1);
@@ -642,7 +644,7 @@ fn semaphore_bounds_concurrency() {
         for _ in 0..6 {
             let (sem, inside, peak) = (Arc::clone(&sem), Arc::clone(&inside), Arc::clone(&peak));
             hs.push(vp.spawn(SpawnAttr::new(), move |vp| {
-                sem.acquire();
+                sem.acquire().unwrap();
                 let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
                 for _ in 0..5 {
@@ -689,7 +691,7 @@ fn rwlock_allows_concurrent_readers() {
             let (lock, concurrent, peak) =
                 (Arc::clone(&lock), Arc::clone(&concurrent), Arc::clone(&peak));
             hs.push(vp.spawn(SpawnAttr::new(), move |vp| {
-                let g = lock.read();
+                let g = lock.read().unwrap();
                 let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
                 assert_eq!(*g, 7);
@@ -722,7 +724,7 @@ fn rwlock_writer_is_exclusive_and_sees_updates() {
             let lock = Arc::clone(&lock);
             hs.push(vp.spawn(SpawnAttr::new(), move |vp| {
                 for _ in 0..25 {
-                    let mut g = lock.write();
+                    let mut g = lock.write().unwrap();
                     let v = *g;
                     vp.yield_now(); // try to tear the update
                     *g = v + 1;
@@ -732,7 +734,7 @@ fn rwlock_writer_is_exclusive_and_sees_updates() {
         for h in hs {
             h.join().unwrap();
         }
-        assert_eq!(*lock.read(), 100);
+        assert_eq!(*lock.read().unwrap(), 100);
     })
     .unwrap();
 }
@@ -745,11 +747,11 @@ fn rwlock_writer_preference_blocks_new_readers() {
         let lock = UltRwLock::new(&vp2, 0u32);
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
 
-        let r1 = lock.read(); // hold a read lock
+        let r1 = lock.read().unwrap(); // hold a read lock
 
         let (l2, o2) = (Arc::clone(&lock), Arc::clone(&order));
         let writer = vp.spawn(SpawnAttr::new().name("writer"), move |_| {
-            let mut g = l2.write();
+            let mut g = l2.write().unwrap();
             *g = 1;
             o2.lock().push("writer");
         });
@@ -757,7 +759,7 @@ fn rwlock_writer_preference_blocks_new_readers() {
 
         let (l3, o3) = (Arc::clone(&lock), Arc::clone(&order));
         let late_reader = vp.spawn(SpawnAttr::new().name("late-reader"), move |_| {
-            let g = l3.read();
+            let g = l3.read().unwrap();
             o3.lock().push("reader");
             assert_eq!(*g, 1, "late reader must see the write");
         });
@@ -779,18 +781,18 @@ fn cancelled_mutex_waiter_does_not_strand_others() {
     let vp2 = Arc::clone(&vp);
     vp.run(move |vp| {
         let m = UltMutex::new(&vp2, 0u32);
-        let g = m.lock(); // main holds the lock
+        let g = m.lock().unwrap(); // main holds the lock
 
         let m2 = Arc::clone(&m);
         let victim = vp.spawn(SpawnAttr::new().name("victim"), move |_| {
-            let _g = m2.lock(); // queues behind main
+            let _g = m2.lock().unwrap(); // queues behind main
             unreachable!("victim must be cancelled while waiting");
         });
         vp.yield_now(); // let the victim queue
 
         let m3 = Arc::clone(&m);
         let survivor = vp.spawn(SpawnAttr::new().name("survivor"), move |_| {
-            let mut g = m3.lock();
+            let mut g = m3.lock().unwrap();
             *g = 99;
         });
         vp.yield_now(); // let the survivor queue behind the victim
@@ -801,7 +803,7 @@ fn cancelled_mutex_waiter_does_not_strand_others() {
 
         drop(g); // release: the wakeup must skip the dead victim
         survivor.join().unwrap();
-        assert_eq!(*m.lock(), 99);
+        assert_eq!(*m.lock().unwrap(), 99);
     })
     .unwrap();
 }
@@ -814,13 +816,13 @@ fn cancelled_semaphore_waiter_does_not_strand_others() {
         let sem = UltSemaphore::new(&vp2, 0);
         let s2 = Arc::clone(&sem);
         let victim = vp.spawn(SpawnAttr::new(), move |_| {
-            s2.acquire();
+            s2.acquire().unwrap();
             unreachable!("victim must be cancelled while waiting");
         });
         vp.yield_now();
         let s3 = Arc::clone(&sem);
         let survivor = vp.spawn(SpawnAttr::new(), move |_| {
-            s3.acquire();
+            s3.acquire().unwrap();
             7u8
         });
         vp.yield_now();
@@ -899,9 +901,9 @@ fn notify_one_skips_waiter_cancelled_while_queued() {
 
         let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
         let a = vp.spawn(SpawnAttr::new().name("doomed"), move |_| {
-            let mut g = m2.lock();
+            let mut g = m2.lock().unwrap();
             while !g.0 {
-                g = cv2.wait(g); // flag_a never becomes true
+                g = cv2.wait(g).unwrap(); // flag_a never becomes true
             }
             unreachable!("doomed waiter must be cancelled");
         });
@@ -909,9 +911,9 @@ fn notify_one_skips_waiter_cancelled_while_queued() {
 
         let (m3, cv3) = (Arc::clone(&m), Arc::clone(&cv));
         let b = vp.spawn(SpawnAttr::new().name("live"), move |_| {
-            let mut g = m3.lock();
+            let mut g = m3.lock().unwrap();
             while !g.1 {
-                g = cv3.wait(g);
+                g = cv3.wait(g).unwrap();
             }
             "woken"
         });
@@ -919,7 +921,7 @@ fn notify_one_skips_waiter_cancelled_while_queued() {
 
         vp.cancel(a.tid()).unwrap();
         // No yield here: A still has its stale queue entry.
-        m.lock().1 = true;
+        m.lock().unwrap().1 = true;
         cv.notify_one(); // must skip A and wake B
         assert_eq!(b.join().unwrap(), "woken");
         assert!(matches!(a.join(), Err(JoinError::Cancelled)));
@@ -942,8 +944,10 @@ fn condvar_wait_timeout_expires_without_notifier() {
                     vp.yield_now();
                 }
             });
-            let g = m.lock();
-            let (_g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(10));
+            let g = m.lock().unwrap();
+            let (_g, timed_out) = cv
+                .wait_timeout(g, std::time::Duration::from_millis(10))
+                .unwrap();
             drop(_g);
             ticker.join().unwrap();
             timed_out
@@ -962,13 +966,15 @@ fn condvar_wait_timeout_sees_prompt_notification() {
             let cv = UltCondvar::new(&vp2);
             let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
             let waiter = vp.spawn(SpawnAttr::new(), move |_| {
-                let g = m2.lock();
-                let (g, timed_out) = cv2.wait_timeout(g, std::time::Duration::from_secs(30));
+                let g = m2.lock().unwrap();
+                let (g, timed_out) = cv2
+                    .wait_timeout(g, std::time::Duration::from_secs(30))
+                    .unwrap();
                 assert!(*g, "woke without the predicate set");
                 timed_out
             });
             vp.yield_now(); // waiter queues
-            *m.lock() = true;
+            *m.lock().unwrap() = true;
             cv.notify_one();
             waiter.join().unwrap()
         })
@@ -989,15 +995,267 @@ fn semaphore_acquire_timeout_times_out_then_succeeds() {
             }
         });
         assert!(
-            !sem.acquire_timeout(std::time::Duration::from_millis(10)),
+            !sem
+                .acquire_timeout(std::time::Duration::from_millis(10))
+                .unwrap(),
             "no permits: must time out"
         );
         sem.release();
         assert!(
-            sem.acquire_timeout(std::time::Duration::from_secs(30)),
+            sem.acquire_timeout(std::time::Duration::from_secs(30))
+                .unwrap(),
             "permit available: must acquire"
         );
         ticker.join().unwrap();
     })
     .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Foreign (non-ULT) OS threads
+// ---------------------------------------------------------------------
+
+#[test]
+fn sync_primitives_error_off_ult_instead_of_aborting() {
+    // Regression: these used to `expect` (and so abort the process) when
+    // touched from an ordinary OS thread — e.g. a transport drain thread.
+    let vp = vp();
+    let m = UltMutex::new(&vp, 0u32);
+    assert!(matches!(m.lock(), Err(UltError::NotUltContext)));
+    assert!(matches!(m.try_lock(), Err(UltError::NotUltContext)));
+    let sem = UltSemaphore::new(&vp, 1);
+    assert!(matches!(sem.acquire(), Err(UltError::NotUltContext)));
+    assert!(matches!(
+        sem.acquire_timeout(std::time::Duration::from_millis(1)),
+        Err(UltError::NotUltContext)
+    ));
+    let b = UltBarrier::new(&vp, 1);
+    assert!(matches!(b.wait(), Err(UltError::NotUltContext)));
+    let rw = UltRwLock::new(&vp, ());
+    assert!(matches!(rw.read(), Err(UltError::NotUltContext)));
+    assert!(matches!(rw.write(), Err(UltError::NotUltContext)));
+}
+
+#[test]
+fn free_yield_now_off_ult_is_a_noop() {
+    // Regression: panicked with "yield_now outside a user-level thread".
+    crate::yield_now();
+}
+
+// ---------------------------------------------------------------------
+// Multi-VP (worker-lane) scheduling
+// ---------------------------------------------------------------------
+
+fn mvp(n: usize) -> Arc<Vp> {
+    Vp::new(VpConfig::named("mvp").with_vps(n))
+}
+
+#[test]
+fn multivp_threads_all_complete_and_counters_balance() {
+    let vp = mvp(4);
+    assert_eq!(vp.n_vps(), 4);
+    let counter = Arc::new(AtomicU32::new(0));
+    let mut hs = Vec::new();
+    for _ in 0..32 {
+        let c = Arc::clone(&counter);
+        hs.push(vp.spawn(SpawnAttr::new(), move |vp| {
+            for _ in 0..20 {
+                c.fetch_add(1, Ordering::Relaxed);
+                vp.yield_now();
+            }
+        }));
+    }
+    vp.start();
+    for h in hs {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 640);
+    let s = vp.stats().snapshot();
+    assert_eq!(s.spawned, 32);
+    assert_eq!(s.exited, 32);
+    assert_eq!(s.yields, 640);
+}
+
+#[test]
+fn idle_lane_steals_from_a_busy_one() {
+    // Two threads pinned to lane 0. The first holds lane 0's baton in a
+    // pure spin (no scheduling point), so the second can only ever run if
+    // lane 1 steals it. Deterministic: no steal -> no flag -> test fails.
+    let vp = mvp(2);
+    let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let f1 = Arc::clone(&flag);
+    let spinner = vp.spawn(SpawnAttr::new().affinity(0).name("spinner"), move |_| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !f1.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lane 1 never stole the setter from lane 0"
+            );
+            std::thread::yield_now();
+        }
+    });
+    let f2 = Arc::clone(&flag);
+    let setter = vp.spawn(SpawnAttr::new().affinity(0).name("setter"), move |_| {
+        f2.store(true, Ordering::Release);
+    });
+    vp.start();
+    spinner.join().unwrap();
+    setter.join().unwrap();
+    assert!(
+        vp.stats().snapshot().steals >= 1,
+        "the setter can only have run via a steal"
+    );
+}
+
+#[test]
+fn single_vp_never_steals() {
+    let vp = vp();
+    for _ in 0..8 {
+        vp.spawn(SpawnAttr::new().detached(), |vp| {
+            for _ in 0..10 {
+                vp.yield_now();
+            }
+        });
+    }
+    vp.start();
+    assert_eq!(vp.stats().snapshot().steals, 0);
+}
+
+#[test]
+fn affinity_pins_home_lane_round_robin_spreads() {
+    // All-pinned spawn: every thread requeues on lane 3's queue, so with
+    // yields the scheduler still completes everything.
+    let vp = mvp(4);
+    let counter = Arc::new(AtomicU32::new(0));
+    for _ in 0..8 {
+        let c = Arc::clone(&counter);
+        vp.spawn(SpawnAttr::new().affinity(3).detached(), move |vp| {
+            c.fetch_add(1, Ordering::Relaxed);
+            vp.yield_now();
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    vp.start();
+    assert_eq!(counter.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn multivp_sync_primitives_stay_correct() {
+    let vp = mvp(4);
+    let vp2 = Arc::clone(&vp);
+    let out = vp
+        .run(move |vp| {
+            let m = UltMutex::new(&vp2, 0u64);
+            let mut hs = Vec::new();
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                hs.push(vp.spawn(SpawnAttr::new(), move |vp| {
+                    for _ in 0..50 {
+                        let mut g = m.lock().unwrap();
+                        let v = *g;
+                        vp.yield_now(); // invite every interleaving
+                        *g = v + 1;
+                        drop(g);
+                    }
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            let total = *m.lock().unwrap();
+            total
+        })
+        .unwrap();
+    assert_eq!(out, 400);
+}
+
+#[test]
+fn multivp_cancelled_condvar_waiter_does_not_strand_others() {
+    // The PR 3 cancelled-waiter fix, now with four lanes racing: the
+    // doomed waiter's stale queue entry must be skipped no matter which
+    // lane delivers the notification.
+    let vp = mvp(4);
+    let vp2 = Arc::clone(&vp);
+    vp.run(move |vp| {
+        let m = UltMutex::new(&vp2, (false, false));
+        let cv = UltCondvar::new(&vp2);
+
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let doomed = vp.spawn(SpawnAttr::new().name("doomed"), move |_| {
+            let mut g = m2.lock().unwrap();
+            while !g.0 {
+                g = cv2.wait(g).unwrap();
+            }
+            unreachable!("doomed waiter must be cancelled");
+        });
+        let (m3, cv3) = (Arc::clone(&m), Arc::clone(&cv));
+        let live = vp.spawn(SpawnAttr::new().name("live"), move |_| {
+            let mut g = m3.lock().unwrap();
+            while !g.1 {
+                g = cv3.wait(g).unwrap();
+            }
+            "woken"
+        });
+        // Let both park on the condvar (real queue entries, not tokens).
+        while vp.thread_info(doomed.tid()).unwrap().state != crate::ThreadState::Blocked
+            || vp.thread_info(live.tid()).unwrap().state != crate::ThreadState::Blocked
+        {
+            vp.yield_now();
+        }
+        vp.cancel(doomed.tid()).unwrap();
+        m.lock().unwrap().1 = true;
+        cv.notify_one(); // must skip the doomed entry and wake `live`
+        assert_eq!(live.join().unwrap(), "woken");
+        assert!(matches!(doomed.join(), Err(JoinError::Cancelled)));
+    })
+    .unwrap();
+}
+
+#[test]
+fn multivp_cancelled_semaphore_waiter_does_not_strand_others() {
+    let vp = mvp(4);
+    let vp2 = Arc::clone(&vp);
+    vp.run(move |vp| {
+        let sem = UltSemaphore::new(&vp2, 0);
+        let s2 = Arc::clone(&sem);
+        let victim = vp.spawn(SpawnAttr::new(), move |_| {
+            s2.acquire().unwrap();
+            unreachable!("victim must be cancelled while waiting");
+        });
+        let s3 = Arc::clone(&sem);
+        let survivor = vp.spawn(SpawnAttr::new(), move |_| {
+            s3.acquire().unwrap();
+            7u8
+        });
+        while vp.thread_info(victim.tid()).unwrap().state != crate::ThreadState::Blocked
+            || vp.thread_info(survivor.tid()).unwrap().state != crate::ThreadState::Blocked
+        {
+            vp.yield_now();
+        }
+        vp.cancel(victim.tid()).unwrap();
+        assert!(matches!(victim.join(), Err(JoinError::Cancelled)));
+        sem.release();
+        assert_eq!(survivor.join().unwrap(), 7);
+    })
+    .unwrap();
+}
+
+#[test]
+fn multivp_hookless_deadlock_still_detected() {
+    let vp = Vp::new(VpConfig {
+        deadlock_spin_limit: 200,
+        ..VpConfig::named("mdl").with_vps(3)
+    });
+    let h = vp.spawn(SpawnAttr::new(), |vp| {
+        vp.block(); // nobody will ever unblock us
+    });
+    vp.start(); // must terminate (exactly one lane reports), not hang
+    match h.join() {
+        Err(JoinError::Panicked(p)) => {
+            let msg = p.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+        }
+        Err(JoinError::Cancelled) => {}
+        other => panic!("expected deadlock report, ok={}", other.is_ok()),
+    }
 }

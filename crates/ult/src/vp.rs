@@ -2,19 +2,39 @@
 //! user-level threads, with the hook points Chant's polling policies need.
 //!
 //! A [`Vp`] corresponds to the paper's *(processing element, process)*
-//! context: one address space's worth of lightweight threads. Exactly one
-//! thread of a VP executes at a time; the executing thread holds the VP's
-//! *scheduling baton* and passes it on at explicit points (`yield_now`,
-//! `block`, exit). Whoever holds the baton also runs the scheduler — and
-//! therefore the installed [`SchedulerHook`]s — which is how "the
-//! scheduler polls for outstanding messages on each context switch"
-//! (paper §3.1) without any dedicated scheduler thread.
+//! context: one address space's worth of lightweight threads. In the
+//! paper's model exactly one thread of a VP executes at a time; the
+//! executing thread holds the VP's *scheduling baton* and passes it on at
+//! explicit points (`yield_now`, `block`, exit). Whoever holds the baton
+//! also runs the scheduler — and therefore the installed
+//! [`SchedulerHook`]s — which is how "the scheduler polls for outstanding
+//! messages on each context switch" (paper §3.1) without any dedicated
+//! scheduler thread.
+//!
+//! # Multi-VP mode
+//!
+//! With [`VpConfig::n_vps`] > 1 the VP multiplexes its threads over N
+//! *worker lanes*, one scheduling baton each, so a multicore PE can run N
+//! user-level threads truly in parallel. Each lane owns a run queue;
+//! threads have a *home* lane (round-robin at spawn, or pinned with
+//! [`SpawnAttr::affinity`](crate::SpawnAttr::affinity)) that they requeue
+//! on at every yield/unblock. An idle lane steals single dispatches from
+//! the back of other lanes' queues — a steal moves one quantum of
+//! computation, never the home, and never any endpoint or matching-table
+//! ownership. Scheduler hooks stay effectively single-threaded: the
+//! schedule-point and idle sweeps are serialized by a try-lock gate
+//! (contending lanes skip, they do not wait), and the idle sweep fires
+//! only when *every* lane is simultaneously out of work. At `n_vps == 1`
+//! all of this degenerates to the paper's single-baton scheduler: the
+//! gate is never contended, the one lane is "all lanes", and no candidate
+//! is ever deferred by the steal-safety check, so counter streams are
+//! bit-identical to the pre-multi-VP scheduler.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Once};
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -55,7 +75,8 @@ enum Departure {
     Block,
     /// I am exiting: hand off and let my OS thread die.
     Exit,
-    /// Initial dispatch from [`Vp::start`]'s calling thread.
+    /// Initial dispatch from [`Vp::start`]'s calling thread (or one of
+    /// its worker-lane host threads).
     Bootstrap,
 }
 
@@ -88,34 +109,33 @@ pub struct ThreadInfo {
     pub detached: bool,
 }
 
-struct Inner {
+/// Thread directory and lifecycle bookkeeping, shared by all worker
+/// lanes. Deliberately holds no run queue: the queues live per-lane in
+/// [`Worker`] so ready-queue traffic never contends on this lock.
+struct Shared {
     tcbs: HashMap<Tid, Arc<Tcb>>,
-    ready: [VecDeque<Tid>; Priority::LEVELS],
     next_tid: Tid,
     /// Threads not yet Done.
     live: usize,
-    current: Option<Tid>,
     shutdown: bool,
+    /// Round-robin cursor for spawn placement across worker lanes.
+    next_place: usize,
 }
 
-impl Inner {
-    fn ready_len(&self) -> usize {
-        self.ready.iter().map(VecDeque::len).sum()
-    }
-
-    fn push_ready(&mut self, tcb: &Tcb) {
-        self.ready[tcb.priority().index()].push_back(tcb.id);
-    }
-
-    /// Pop the frontmost thread of the highest non-empty priority class.
-    fn pop_ready(&mut self) -> Option<Tid> {
-        for q in self.ready.iter_mut().rev() {
-            if let Some(t) = q.pop_front() {
-                return Some(t);
-            }
-        }
-        None
-    }
+/// One worker lane: a run queue plus the lane's scheduling baton state.
+struct Worker {
+    /// This lane's ready queue, one FIFO per priority class. Owners pop
+    /// from the front; thieves pop from the back (oldest entry of the
+    /// highest non-empty class), keeping owner traffic cache-friendly.
+    ///
+    /// A plain mutexed deque, not a Chase–Lev deque: measured under
+    /// `ult_scale`, queue-lock hold times are tens of nanoseconds against
+    /// microsecond-scale dispatch costs (permit grant + OS wakeup), so an
+    /// uncontended parking_lot lock is nowhere near the bottleneck. The
+    /// lock-free deque stays an upgrade path behind this same interface.
+    ready: Mutex<[VecDeque<Tid>; Priority::LEVELS]>,
+    /// Tid last dispatched on this lane (0 = none yet), for introspection.
+    current: AtomicU32,
 }
 
 /// A virtual processor hosting cooperative user-level threads.
@@ -123,12 +143,24 @@ impl Inner {
 /// See the [crate documentation](crate) for the execution model.
 pub struct Vp {
     cfg: VpConfig,
-    inner: Mutex<Inner>,
+    /// Worker-lane count; `cfg.n_vps` clamped to ≥ 1.
+    n: usize,
+    shared: Mutex<Shared>,
+    workers: Box<[Worker]>,
     done_cv: Condvar,
     /// Installed scheduler hooks. Kept as a shared slice so the hot
     /// scheduling loop snapshots with one refcount bump and iterates
     /// with no extra indirection or allocation.
     hooks: RwLock<Arc<[HookRef]>>,
+    /// Serializes the `at_schedule_point` and `on_idle` hook sweeps
+    /// across worker lanes (try-lock: a contending lane skips its sweep
+    /// rather than waiting — the holder's sweep is doing the work).
+    hook_gate: Mutex<()>,
+    /// Number of lanes currently in their idle loop; `on_idle` fires only
+    /// when this reaches `n` (the whole VP set is out of work).
+    idle_workers: AtomicUsize,
+    /// Ensures exactly one lane reports a detected deadlock.
+    deadlock_reported: AtomicBool,
     stats: VpStats,
     /// Trace lane + cached histogram handles; `None` when no tracer was
     /// installed at construction time.
@@ -138,7 +170,10 @@ pub struct Vp {
 
 impl std::fmt::Debug for Vp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Vp").field("name", &self.cfg.name).finish()
+        f.debug_struct("Vp")
+            .field("name", &self.cfg.name)
+            .field("n_vps", &self.n)
+            .finish()
     }
 }
 
@@ -156,18 +191,29 @@ impl Vp {
         install_cancel_hook();
         #[cfg(feature = "trace")]
         let obs = crate::obs::VpObs::register(&cfg.name);
+        let n = cfg.n_vps.max(1);
+        let workers: Box<[Worker]> = (0..n)
+            .map(|_| Worker {
+                ready: Mutex::new(Default::default()),
+                current: AtomicU32::new(0),
+            })
+            .collect();
         Arc::new(Vp {
             cfg,
-            inner: Mutex::new(Inner {
+            n,
+            shared: Mutex::new(Shared {
                 tcbs: HashMap::new(),
-                ready: Default::default(),
                 next_tid: MAIN_TID,
                 live: 0,
-                current: None,
                 shutdown: false,
+                next_place: 0,
             }),
+            workers,
             done_cv: Condvar::new(),
             hooks: RwLock::new(Arc::from(Vec::new())),
+            hook_gate: Mutex::new(()),
+            idle_workers: AtomicUsize::new(0),
+            deadlock_reported: AtomicBool::new(false),
             stats: VpStats::default(),
             #[cfg(feature = "trace")]
             obs,
@@ -185,6 +231,11 @@ impl Vp {
     /// The VP's configured name.
     pub fn name(&self) -> &str {
         &self.cfg.name
+    }
+
+    /// Number of worker lanes this VP schedules across (≥ 1).
+    pub fn n_vps(&self) -> usize {
+        self.n
     }
 
     /// Scheduling statistics for this VP.
@@ -210,31 +261,86 @@ impl Vp {
         Arc::clone(&self.hooks.read())
     }
 
+    // ------------------------------------------------------------------
+    // Run-queue plumbing. Lock discipline: never hold the `shared` lock
+    // and a worker queue lock at the same time, and never hold either
+    // while taking a TCB's `life` lock — each helper takes exactly one.
+    // ------------------------------------------------------------------
+
+    /// Queue a ready thread on its home lane.
+    fn push_home(&self, tcb: &Tcb) {
+        let w = tcb.home.load(Ordering::Relaxed) % self.n;
+        self.workers[w].ready.lock()[tcb.priority().index()].push_back(tcb.id);
+    }
+
+    /// Pop the frontmost thread of the highest non-empty priority class
+    /// of this lane's own queue.
+    fn pop_local(&self, worker: usize) -> Option<Tid> {
+        let mut q = self.workers[worker].ready.lock();
+        for lane in q.iter_mut().rev() {
+            if let Some(t) = lane.pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn local_len(&self, worker: usize) -> usize {
+        self.workers[worker].ready.lock().iter().map(VecDeque::len).sum()
+    }
+
+    /// Steal one dispatch from another lane: scan victims round-robin
+    /// from this lane and take the *back* of the highest non-empty
+    /// priority class — the entry its owner would reach last.
+    fn try_steal(&self, worker: usize) -> Option<Tid> {
+        for d in 1..self.n {
+            let victim = (worker + d) % self.n;
+            let mut q = self.workers[victim].ready.lock();
+            for lane in q.iter_mut().rev() {
+                if let Some(t) = lane.pop_back() {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
     /// Spawn a user-level thread on this VP. May be called from outside
     /// the VP (before or after [`Vp::start`]) or from one of its threads
     /// (cf. `pthread_chanter_create` with `pe == LOCAL`).
     ///
-    /// The thread does not run until the scheduler dispatches it.
+    /// The thread does not run until the scheduler dispatches it. On a
+    /// multi-lane VP its home lane is the spawn attr's affinity (modulo
+    /// the lane count) or the next round-robin slot.
     pub fn spawn<T, F>(self: &Arc<Vp>, attr: SpawnAttr, f: F) -> JoinHandle<T>
     where
         T: Send + 'static,
         F: FnOnce(&Arc<Vp>) -> T + Send + 'static,
     {
         let (tcb, detached) = {
-            let mut inner = self.inner.lock();
-            assert!(!inner.shutdown, "spawn on a shut-down VP");
-            let tid = inner.next_tid;
-            inner.next_tid += 1;
+            let mut shared = self.shared.lock();
+            assert!(!shared.shutdown, "spawn on a shut-down VP");
+            let tid = shared.next_tid;
+            shared.next_tid += 1;
             let name = attr
                 .name
                 .clone()
                 .unwrap_or_else(|| format!("{}-t{}", self.cfg.name, tid));
             let tcb = Tcb::new(tid, name, attr.priority, attr.detached);
-            inner.tcbs.insert(tid, Arc::clone(&tcb));
-            inner.live += 1;
-            inner.push_ready(&tcb);
+            let home = match attr.affinity {
+                Some(a) => a % self.n,
+                None => {
+                    let p = shared.next_place % self.n;
+                    shared.next_place += 1;
+                    p
+                }
+            };
+            tcb.home.store(home, Ordering::Relaxed);
+            shared.tcbs.insert(tid, Arc::clone(&tcb));
+            shared.live += 1;
             (tcb, attr.detached)
         };
+        self.push_home(&tcb);
         VpStats::bump(&self.stats.spawned);
 
         let vp = Arc::clone(self);
@@ -253,6 +359,7 @@ impl Vp {
                 }));
                 // Wait for the first dispatch before touching user code.
                 me.permit.wait();
+                me.parked.store(false, Ordering::Relaxed);
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&vp)));
                 let outcome = match result {
                     Ok(v) => Outcome::Value(Box::new(v) as Box<dyn Any + Send>),
@@ -276,15 +383,34 @@ impl Vp {
     /// thread of the VP has finished. Typically called once after the
     /// initial spawns; threads spawned later by running threads are
     /// awaited too.
+    ///
+    /// On a multi-lane VP this additionally spawns one host OS thread per
+    /// extra lane to bootstrap that lane's baton; they are joined before
+    /// returning.
     pub fn start(self: &Arc<Vp>) {
         assert!(
             !current::is_ult_context(),
             "Vp::start must not be called from a user-level thread"
         );
-        self.reschedule(None, Departure::Bootstrap);
-        let mut inner = self.inner.lock();
-        while inner.live > 0 {
-            self.done_cv.wait(&mut inner);
+        let mut hosts = Vec::with_capacity(self.n.saturating_sub(1));
+        for w in 1..self.n {
+            let vp = Arc::clone(self);
+            hosts.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-w{}", self.cfg.name, w))
+                    .spawn(move || vp.reschedule(w, None, Departure::Bootstrap))
+                    .expect("failed to spawn VP worker-lane host thread"),
+            );
+        }
+        self.reschedule(0, None, Departure::Bootstrap);
+        {
+            let mut shared = self.shared.lock();
+            while shared.live > 0 {
+                self.done_cv.wait(&mut shared);
+            }
+        }
+        for h in hosts {
+            let _ = h.join();
         }
     }
 
@@ -325,12 +451,13 @@ impl Vp {
         if let Some(o) = &self.obs {
             o.emit(chant_obs::Event::Yield { thread: me.id });
         }
-        {
-            let mut inner = self.inner.lock();
-            me.life.lock().phase = Phase::Ready;
-            inner.push_ready(&me);
-        }
-        self.reschedule(Some(&me), Departure::Yield);
+        me.life.lock().phase = Phase::Ready;
+        self.push_home(&me);
+        self.reschedule(
+            me.running_on.load(Ordering::Relaxed),
+            Some(&me),
+            Departure::Yield,
+        );
         self.testcancel_tcb(&me);
     }
 
@@ -341,30 +468,35 @@ impl Vp {
         let me = self.current_tcb();
         self.testcancel_tcb(&me);
         {
-            let inner = self.inner.lock();
+            // The `life` lock orders this decision against `unblock`: an
+            // unblocker either sets the token while we hold `life` here
+            // (we consume it and return), or observes phase == Blocked
+            // and requeues us.
             let mut life = me.life.lock();
             if me.cancel_requested.load(Ordering::Relaxed) {
                 return; // re-checked below; don't sleep through a cancel
             }
-            if std::mem::take(&mut *inner_token(&me)) {
+            if std::mem::take(&mut *me.wake_token.lock()) {
                 return; // consume a pending wakeup token
             }
             // Stamp before publishing Blocked so an unblocker racing in
-            // right after the locks drop reads a fresh timestamp.
+            // right after the lock drops reads a fresh timestamp.
             #[cfg(feature = "trace")]
             if let Some(o) = &self.obs {
                 me.blocked_at_ns.store(o.lane.now_ns(), Ordering::Relaxed);
             }
             life.phase = Phase::Blocked;
-            drop(life);
-            drop(inner); // held until here to order against unblock
         }
         VpStats::bump(&self.stats.blocks);
         #[cfg(feature = "trace")]
         if let Some(o) = &self.obs {
             o.emit(chant_obs::Event::Block { thread: me.id });
         }
-        self.reschedule(Some(&me), Departure::Block);
+        self.reschedule(
+            me.running_on.load(Ordering::Relaxed),
+            Some(&me),
+            Departure::Block,
+        );
         self.testcancel_tcb(&me);
     }
 
@@ -372,8 +504,9 @@ impl Vp {
     /// blocked, a wakeup token is left for its next [`Vp::block`]. May be
     /// called from any OS thread, including scheduler hooks.
     pub fn unblock(&self, tid: Tid) -> Result<(), UltError> {
-        let mut inner = self.inner.lock();
-        let tcb = inner
+        let tcb = self
+            .shared
+            .lock()
             .tcbs
             .get(&tid)
             .cloned()
@@ -383,7 +516,7 @@ impl Vp {
             Phase::Blocked => {
                 life.phase = Phase::Ready;
                 drop(life);
-                inner.push_ready(&tcb);
+                self.push_home(&tcb);
                 VpStats::bump(&self.stats.unblocks);
                 #[cfg(feature = "trace")]
                 if let Some(o) = &self.obs {
@@ -395,8 +528,10 @@ impl Vp {
             }
             Phase::Done => {}
             _ => {
-                drop(life);
-                inner_token_set(&tcb);
+                // Token set under `life`, pairing with `block`'s
+                // check-under-`life`: the wakeup cannot fall between its
+                // token test and its Blocked store.
+                *tcb.wake_token.lock() = true;
             }
         }
         Ok(())
@@ -419,14 +554,13 @@ impl Vp {
     /// Delivery is cooperative: the target exits at its next cancellation
     /// point (`yield_now`, `block`, or an explicit [`Vp::testcancel`]).
     pub fn cancel(&self, tid: Tid) -> Result<(), UltError> {
-        let tcb = {
-            let inner = self.inner.lock();
-            inner
-                .tcbs
-                .get(&tid)
-                .cloned()
-                .ok_or(UltError::NoSuchThread(tid))?
-        };
+        let tcb = self
+            .shared
+            .lock()
+            .tcbs
+            .get(&tid)
+            .cloned()
+            .ok_or(UltError::NoSuchThread(tid))?;
         tcb.cancel_requested.store(true, Ordering::Relaxed);
         // If it is blocked, wake it so it can observe the request.
         let _ = self.unblock(tid);
@@ -438,8 +572,8 @@ impl Vp {
     /// a wakeup to a thread that will only unwind would strand the live
     /// waiters queued behind it. `false` for unknown/reaped tids.
     pub fn is_cancel_requested(&self, tid: Tid) -> bool {
-        let inner = self.inner.lock();
-        inner
+        let shared = self.shared.lock();
+        shared
             .tcbs
             .get(&tid)
             .is_some_and(|tcb| tcb.cancel_requested.load(Ordering::Relaxed))
@@ -459,8 +593,8 @@ impl Vp {
 
     /// Change a thread's priority class.
     pub fn set_priority(&self, tid: Tid, priority: Priority) -> Result<(), UltError> {
-        let inner = self.inner.lock();
-        let tcb = inner.tcbs.get(&tid).ok_or(UltError::NoSuchThread(tid))?;
+        let shared = self.shared.lock();
+        let tcb = shared.tcbs.get(&tid).ok_or(UltError::NoSuchThread(tid))?;
         tcb.set_priority(priority);
         // Note: if the thread is already queued, it stays in its old class
         // until next requeue — matching typical pthread implementations.
@@ -470,8 +604,8 @@ impl Vp {
     /// Mark a thread detached so its resources are reclaimed on exit
     /// (cf. `pthread_chanter_detach`).
     pub fn detach(&self, tid: Tid) -> Result<(), UltError> {
-        let mut inner = self.inner.lock();
-        let tcb = inner
+        let mut shared = self.shared.lock();
+        let tcb = shared
             .tcbs
             .get(&tid)
             .cloned()
@@ -479,15 +613,15 @@ impl Vp {
         tcb.detached.store(true, Ordering::Relaxed);
         let done = tcb.life.lock().phase == Phase::Done;
         if done {
-            inner.tcbs.remove(&tid);
+            shared.tcbs.remove(&tid);
         }
         Ok(())
     }
 
     /// Introspect a thread.
     pub fn thread_info(&self, tid: Tid) -> Option<ThreadInfo> {
-        let inner = self.inner.lock();
-        let tcb = inner.tcbs.get(&tid)?;
+        let shared = self.shared.lock();
+        let tcb = shared.tcbs.get(&tid)?;
         let state = match tcb.life.lock().phase {
             Phase::Ready => ThreadState::Ready,
             Phase::Running => ThreadState::Running,
@@ -505,7 +639,7 @@ impl Vp {
 
     /// Number of threads that have not yet finished.
     pub fn live_threads(&self) -> usize {
-        self.inner.lock().live
+        self.shared.lock().live
     }
 
     // ------------------------------------------------------------------
@@ -514,6 +648,7 @@ impl Vp {
 
     /// Thread exit: record the outcome, wake joiners, hand off the baton.
     fn finish(self: &Arc<Vp>, me: &Arc<Tcb>, outcome: Outcome) {
+        let worker = me.running_on.load(Ordering::Relaxed);
         let joiners: Vec<Tid> = {
             let mut life = me.life.lock();
             life.phase = Phase::Done;
@@ -525,13 +660,13 @@ impl Vp {
             let _ = self.unblock(j);
         }
         {
-            let mut inner = self.inner.lock();
+            let mut shared = self.shared.lock();
             if me.detached.load(Ordering::Relaxed) {
-                inner.tcbs.remove(&me.id);
+                shared.tcbs.remove(&me.id);
             }
-            inner.live -= 1;
+            shared.live -= 1;
             VpStats::bump(&self.stats.exited);
-            if inner.live == 0 {
+            if shared.live == 0 {
                 self.done_cv.notify_all();
             }
         }
@@ -539,75 +674,108 @@ impl Vp {
         if let Some(o) = &self.obs {
             o.emit(chant_obs::Event::ThreadDone { thread: me.id });
         }
-        self.reschedule(Some(me), Departure::Exit);
+        self.reschedule(worker, Some(me), Departure::Exit);
     }
 
-    /// Core scheduling loop. Runs on the departing thread's OS thread (or
-    /// the bootstrap thread); returns once the baton has been handed off —
-    /// for `Yield`/`Block` departures, only after *this* thread has been
-    /// granted the baton again.
-    fn reschedule(self: &Arc<Vp>, me: Option<&Arc<Tcb>>, dep: Departure) {
+    /// Fetch a popped candidate's TCB, filtering garbage queue entries.
+    /// `None` means "skip this tid and keep looking".
+    fn candidate(&self, tid: Tid) -> Option<Arc<Tcb>> {
+        let tcb = self.shared.lock().tcbs.get(&tid).cloned()?; // reaped
+        if tcb.life.lock().phase == Phase::Done {
+            return None; // stale queue entry for an exited thread
+        }
+        Some(tcb)
+    }
+
+    /// Whether it is safe for lane `worker`'s baton holder to dispatch
+    /// this candidate. A thread that is not `me` and not parked is still
+    /// winding down through *another* lane's scheduler (it was requeued
+    /// before reaching its park point); granting it now would strand that
+    /// lane's baton. Single-lane VPs never defer: the only unparked
+    /// candidate possible is `me`.
+    fn steal_safe(&self, tcb: &Tcb, me: Option<&Arc<Tcb>>) -> bool {
+        self.n == 1
+            || me.is_some_and(|m| m.id == tcb.id)
+            || tcb.parked.load(Ordering::Acquire)
+    }
+
+    /// Run the pre-dispatch hooks for a candidate (the PS partial-switch
+    /// test). Not gate-serialized: concurrent lanes evaluate *different*
+    /// candidates, each under its own TCB's `pending` lock, and every
+    /// candidate must be tested no matter which lane examines it.
+    fn dispatch_decision(
+        &self,
+        hooks: &[HookRef],
+        wants_check: bool,
+        tcb: &Tcb,
+    ) -> DispatchDecision {
+        // A cancel-requested thread must run so it can observe the
+        // request at its next cancellation point, even if a polling
+        // hook would otherwise keep requeueing it.
+        if tcb.cancel_requested.load(Ordering::Relaxed) {
+            return DispatchDecision::Run;
+        }
+        if !wants_check {
+            return DispatchDecision::Run;
+        }
+        let pending = tcb.pending.lock();
+        let mut d = DispatchDecision::Run;
+        for h in hooks.iter().filter(|h| h.wants_dispatch_check()) {
+            d = h.before_dispatch(tcb.id, pending.as_deref());
+            if d == DispatchDecision::Requeue {
+                break;
+            }
+        }
+        d
+    }
+
+    /// Core scheduling loop for one worker lane. Runs on the departing
+    /// thread's OS thread (or a bootstrap host); returns once the lane's
+    /// baton has been handed off — for `Yield`/`Block` departures, only
+    /// after *this* thread has been granted a baton again.
+    fn reschedule(self: &Arc<Vp>, worker: usize, me: Option<&Arc<Tcb>>, dep: Departure) {
         let mut empty_rounds: u64 = 0;
+        // Whether this lane is currently counted in `idle_workers`.
+        let mut marked_idle = false;
         loop {
             VpStats::bump(&self.stats.schedule_points);
             #[cfg(feature = "trace")]
             let sched_start_ns = self.obs.as_ref().map(|o| o.lane.now_ns());
             let hooks = self.hooks_snapshot();
-            for h in hooks.iter() {
-                h.at_schedule_point();
+            if !hooks.is_empty() {
+                // Gate-serialized across lanes; skip if another lane's
+                // sweep is in flight (its scan unblocks our threads too).
+                if let Some(_g) = self.hook_gate.try_lock() {
+                    for h in hooks.iter() {
+                        h.at_schedule_point();
+                    }
+                }
             }
             let wants_check = hooks.iter().any(|h| h.wants_dispatch_check());
 
-            // Examine at most one full round of the ready queue; requeued
-            // (partially switched) candidates are held aside until the
-            // round ends so a high-priority thread with an unready pending
-            // request cannot monopolize the round, then retried next round
-            // after the schedule-point hooks have run again.
-            let round_len = {
-                let inner = self.inner.lock();
-                inner.ready_len()
-            };
+            // Examine at most one full round of the lane's own queue;
+            // requeued (partially switched) candidates are held aside
+            // until the round ends so a high-priority thread with an
+            // unready pending request cannot monopolize the round, then
+            // retried next round after the schedule-point hooks have run
+            // again.
+            let round_len = self.local_len(worker);
             let mut deferred: Vec<Arc<Tcb>> = Vec::new();
             let mut dispatched = false;
             let mut examined = 0usize;
             while examined < round_len.max(1) {
-                let cand = {
-                    let mut inner = self.inner.lock();
-                    inner.pop_ready()
-                };
-                let Some(tid) = cand else { break };
+                let Some(tid) = self.pop_local(worker) else { break };
                 examined += 1;
-                let tcb = {
-                    let inner = self.inner.lock();
-                    match inner.tcbs.get(&tid) {
-                        Some(t) => Arc::clone(t),
-                        None => continue, // reaped while queued
-                    }
+                let Some(tcb) = self.candidate(tid) else {
+                    continue;
                 };
-                if tcb.life.lock().phase == Phase::Done {
-                    continue; // stale queue entry for an exited thread
+                if !self.steal_safe(&tcb, me) {
+                    // Not a partial switch: the candidate was not examined
+                    // by any hook, it is merely not yet grantable.
+                    deferred.push(tcb);
+                    continue;
                 }
-
-                // A cancel-requested thread must run so it can observe the
-                // request at its next cancellation point, even if a polling
-                // hook would otherwise keep requeueing it.
-                let decision = if tcb.cancel_requested.load(Ordering::Relaxed) {
-                    DispatchDecision::Run
-                } else if wants_check {
-                    let pending = tcb.pending.lock();
-                    let mut d = DispatchDecision::Run;
-                    for h in hooks.iter().filter(|h| h.wants_dispatch_check()) {
-                        d = h.before_dispatch(tid, pending.as_deref());
-                        if d == DispatchDecision::Requeue {
-                            break;
-                        }
-                    }
-                    d
-                } else {
-                    DispatchDecision::Run
-                };
-
-                match decision {
+                match self.dispatch_decision(&hooks, wants_check, &tcb) {
                     DispatchDecision::Requeue => {
                         VpStats::bump(&self.stats.partial_switches);
                         #[cfg(feature = "trace")]
@@ -619,18 +787,64 @@ impl Vp {
                     DispatchDecision::Run => {
                         // Requeue the partially-switched candidates before
                         // handing off, or they would be lost.
-                        {
-                            let mut inner = self.inner.lock();
-                            for t in deferred.drain(..) {
-                                inner.push_ready(&t);
-                            }
+                        for t in deferred.drain(..) {
+                            self.push_home(&t);
                         }
-                        self.dispatch_to(&tcb, me, dep);
+                        if marked_idle {
+                            self.idle_workers.fetch_sub(1, Ordering::AcqRel);
+                            marked_idle = false;
+                        }
+                        self.dispatch_to(worker, &tcb, me, dep);
                         dispatched = true;
                         break;
                     }
                 }
             }
+            if !dispatched && !deferred.is_empty() {
+                for t in deferred.drain(..) {
+                    self.push_home(&t);
+                }
+            }
+
+            // Own queue came up dry: try to steal one dispatch from
+            // another lane. Garbage entries (reaped/Done) are consumed
+            // and the scan continues; a live candidate that fails its
+            // gate or hook test is returned home and the attempt ends —
+            // re-stealing it in a tight loop would spin on the same head.
+            if !dispatched && self.n > 1 {
+                while let Some(tid) = self.try_steal(worker) {
+                    let Some(tcb) = self.candidate(tid) else {
+                        continue;
+                    };
+                    if !self.steal_safe(&tcb, me) {
+                        self.push_home(&tcb);
+                        break;
+                    }
+                    match self.dispatch_decision(&hooks, wants_check, &tcb) {
+                        DispatchDecision::Requeue => {
+                            VpStats::bump(&self.stats.partial_switches);
+                            #[cfg(feature = "trace")]
+                            if let Some(o) = &self.obs {
+                                o.emit(chant_obs::Event::PartialSwitch { thread: tid });
+                            }
+                            self.push_home(&tcb);
+                        }
+                        DispatchDecision::Run => {
+                            if me.is_none_or(|m| m.id != tcb.id) {
+                                VpStats::bump(&self.stats.steals);
+                            }
+                            if marked_idle {
+                                self.idle_workers.fetch_sub(1, Ordering::AcqRel);
+                                marked_idle = false;
+                            }
+                            self.dispatch_to(worker, &tcb, me, dep);
+                            dispatched = true;
+                        }
+                    }
+                    break;
+                }
+            }
+
             if dispatched {
                 // Attribute the search cost only for rounds that found a
                 // thread; idle spinning is accounted by `idle_spins`.
@@ -643,32 +857,37 @@ impl Vp {
                 }
                 return;
             }
-            if !deferred.is_empty() {
-                let mut inner = self.inner.lock();
-                for t in deferred.drain(..) {
-                    inner.push_ready(&t);
-                }
-            }
 
             // Nothing runnable this round.
-            {
-                let inner = self.inner.lock();
-                if inner.live == 0 {
-                    self.done_cv.notify_all();
-                    debug_assert!(
-                        matches!(dep, Departure::Exit | Departure::Bootstrap),
-                        "a live thread found the VP empty"
-                    );
-                    return;
+            if self.shared.lock().live == 0 {
+                self.done_cv.notify_all();
+                debug_assert!(
+                    matches!(dep, Departure::Exit | Departure::Bootstrap),
+                    "a live thread found the VP empty"
+                );
+                if marked_idle {
+                    self.idle_workers.fetch_sub(1, Ordering::AcqRel);
                 }
+                return;
             }
             empty_rounds += 1;
             VpStats::bump(&self.stats.idle_spins);
+            if !marked_idle {
+                marked_idle = true;
+                self.idle_workers.fetch_add(1, Ordering::AcqRel);
+            }
             // Idle hook: let installed hooks use the otherwise-wasted
             // spin to make external progress (e.g. drive a transport's
-            // event loop) before we test the ready queue again.
-            for h in hooks.iter() {
-                h.on_idle();
+            // event loop). Fires only when the *whole* lane set is idle —
+            // a busy sibling lane is already making progress, and its
+            // dispatches may be about to feed this queue — and only on
+            // the lane that wins the gate.
+            if self.idle_workers.load(Ordering::Acquire) == self.n {
+                if let Some(_g) = self.hook_gate.try_lock() {
+                    for h in hooks.iter() {
+                        h.on_idle();
+                    }
+                }
             }
             // One Idle event per idle *period*, not per spin: the spin
             // loop would otherwise flood the ring while waiting.
@@ -679,27 +898,48 @@ impl Vp {
                 }
             }
             if hooks.is_empty() && empty_rounds > self.cfg.deadlock_spin_limit {
-                // Unwedge the VP: cancel every blocked thread so they all
-                // unwind in an orderly fashion, then report the deadlock by
-                // panicking the detecting thread (whose joiner sees it).
-                let blocked: Vec<Tid> = {
-                    let inner = self.inner.lock();
-                    inner
-                        .tcbs
-                        .values()
-                        .filter(|t| t.life.lock().phase == Phase::Blocked)
-                        .map(|t| t.id)
-                        .collect()
+                // Before declaring deadlock, confirm the whole VP is
+                // wedged: with several lanes, *this* lane's queue running
+                // dry for a long time only means the work lives elsewhere.
+                let (all_blocked, blocked) = {
+                    let shared = self.shared.lock();
+                    let mut all = true;
+                    let mut blocked = Vec::new();
+                    for t in shared.tcbs.values() {
+                        match t.life.lock().phase {
+                            Phase::Blocked => blocked.push(t.id),
+                            Phase::Done => {}
+                            _ => {
+                                all = false;
+                                break;
+                            }
+                        }
+                    }
+                    (all, blocked)
                 };
-                for t in &blocked {
-                    let _ = self.cancel(*t);
+                if all_blocked
+                    && self
+                        .deadlock_reported
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    // Unwedge the VP: cancel every blocked thread so they
+                    // all unwind in an orderly fashion, then report the
+                    // deadlock by panicking the detecting thread (whose
+                    // joiner sees it).
+                    for t in &blocked {
+                        let _ = self.cancel(*t);
+                    }
+                    panic!(
+                        "ULT deadlock on VP '{}': {} thread(s) blocked with none ready and \
+                         no scheduler hooks that could make progress (cancelled: {blocked:?})",
+                        self.cfg.name,
+                        blocked.len()
+                    );
                 }
-                panic!(
-                    "ULT deadlock on VP '{}': {} thread(s) blocked with none ready and \
-                     no scheduler hooks that could make progress (cancelled: {blocked:?})",
-                    self.cfg.name,
-                    blocked.len()
-                );
+                // Some thread is still Ready/Running (or another lane is
+                // already reporting): not our deadlock to declare.
+                empty_rounds = 0;
             }
             if empty_rounds > u64::from(self.cfg.idle_spins_before_os_yield) {
                 std::thread::yield_now();
@@ -709,13 +949,10 @@ impl Vp {
         }
     }
 
-    /// Complete a context switch to `next`.
-    fn dispatch_to(self: &Arc<Vp>, next: &Arc<Tcb>, me: Option<&Arc<Tcb>>, dep: Departure) {
-        {
-            let mut inner = self.inner.lock();
-            inner.current = Some(next.id);
-            next.life.lock().phase = Phase::Running;
-        }
+    /// Complete a context switch to `next` on lane `worker`.
+    fn dispatch_to(self: &Arc<Vp>, worker: usize, next: &Arc<Tcb>, me: Option<&Arc<Tcb>>, dep: Departure) {
+        self.workers[worker].current.store(next.id, Ordering::Relaxed);
+        next.life.lock().phase = Phase::Running;
         if let Some(me) = me {
             if me.id == next.id {
                 // "The scheduler simply returns without having to perform a
@@ -736,6 +973,10 @@ impl Vp {
                 return;
             }
         }
+        // Publish the lane before the grant: the permit's internal lock
+        // makes the store visible to the woken thread, which reads it to
+        // reschedule on this lane's behalf at its next departure.
+        next.running_on.store(worker, Ordering::Relaxed);
         VpStats::bump(&self.stats.full_switches);
         // Emit before granting the permit: the incoming thread may start
         // emitting the moment it wakes, and its events must follow its
@@ -751,21 +992,15 @@ impl Vp {
         match dep {
             Departure::Yield | Departure::Block => {
                 let me = me.expect("yield/block without a current thread");
+                // From here on any lane may grant us; until here only the
+                // queues knew about us and `parked == false` deferred them.
+                me.parked.store(true, Ordering::Release);
                 me.permit.wait();
+                me.parked.store(false, Ordering::Relaxed);
             }
             Departure::Exit | Departure::Bootstrap => {}
         }
     }
-}
-
-// Wakeup-token plumbing. Kept as free functions so `block` can express
-// "check and consume the token while holding the run-queue lock".
-fn inner_token(tcb: &Tcb) -> parking_lot::MutexGuard<'_, bool> {
-    tcb.wake_token.lock()
-}
-
-fn inner_token_set(tcb: &Tcb) {
-    *tcb.wake_token.lock() = true;
 }
 
 impl<T: 'static> JoinHandle<T> {
@@ -781,14 +1016,14 @@ impl<T: 'static> JoinHandle<T> {
         if self.detached {
             return Err(UltError::Detached(self.tid).into());
         }
-        let tcb = {
-            let inner = self.vp.inner.lock();
-            inner
-                .tcbs
-                .get(&self.tid)
-                .cloned()
-                .ok_or(UltError::NoSuchThread(self.tid))?
-        };
+        let tcb = self
+            .vp
+            .shared
+            .lock()
+            .tcbs
+            .get(&self.tid)
+            .cloned()
+            .ok_or(UltError::NoSuchThread(self.tid))?;
 
         let from_ult = current::with_current(|c| {
             c.map(|ctx| (Arc::ptr_eq(&ctx.vp, &self.vp), ctx.tcb.id))
@@ -831,7 +1066,7 @@ impl<T: 'static> JoinHandle<T> {
             life.outcome.take()
         };
         // Reap the zombie now that its value is claimed.
-        self.vp.inner.lock().tcbs.remove(&self.tid);
+        self.vp.shared.lock().tcbs.remove(&self.tid);
 
         match outcome {
             Some(Outcome::Value(v)) => Ok(*v
@@ -845,8 +1080,8 @@ impl<T: 'static> JoinHandle<T> {
 
     /// True once the thread has finished (join would not block).
     pub fn is_finished(&self) -> bool {
-        let inner = self.vp.inner.lock();
-        match inner.tcbs.get(&self.tid) {
+        let shared = self.vp.shared.lock();
+        match shared.tcbs.get(&self.tid) {
             Some(tcb) => tcb.life.lock().phase == Phase::Done,
             None => true,
         }
@@ -855,11 +1090,14 @@ impl<T: 'static> JoinHandle<T> {
 
 /// Yield the current user-level thread (free-function convenience).
 ///
-/// # Panics
-/// Panics if the caller is not a user-level thread.
+/// From an ordinary OS thread this is a no-op: there is no ULT scheduler
+/// to yield to, and aborting would make every library that politely
+/// yields unusable off-VP (likelier than ever now that a VP's threads
+/// span several OS threads).
 pub fn yield_now() {
-    let vp = current::current_vp().expect("yield_now outside a user-level thread");
-    vp.yield_now();
+    if let Some(vp) = current::current_vp() {
+        vp.yield_now();
+    }
 }
 
 /// Whether a caught panic payload is this crate's cancellation unwind.
