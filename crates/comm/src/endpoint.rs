@@ -331,6 +331,33 @@ impl Endpoint {
         SendHandle { complete: true }
     }
 
+    /// Multicast send: one refcounted body to several destinations.
+    ///
+    /// This is the fan-out primitive `chant-pubsub` uses to forward a
+    /// publish along its tree edges. Repeated destinations are
+    /// deduplicated — each distinct address receives the frame exactly
+    /// once per call, so a caller may hand over a tree's raw edge list
+    /// without pre-filtering, and per-link publish traffic stays
+    /// O(distinct edges). Sends to this endpoint's own address are
+    /// delivered normally (self-loops are the local fan-out leg).
+    ///
+    /// Returns the number of frames actually sent (distinct
+    /// destinations). The body is `Bytes`, so no copy is made per
+    /// destination; every frame shares one allocation.
+    pub fn isend_many(&self, dsts: &[Address], tag: i32, ctx: u64, kind: u8, body: Bytes) -> usize {
+        CommStats::bump(&self.stats.multicasts);
+        let mut sent = 0usize;
+        for (i, &dst) in dsts.iter().enumerate() {
+            if dsts[..i].contains(&dst) {
+                CommStats::bump(&self.stats.multicast_dedups);
+                continue;
+            }
+            self.isend(dst, tag, ctx, kind, body.clone());
+            sent += 1;
+        }
+        sent
+    }
+
     /// Blocking send (NX `csend`): returns when the data being sent can
     /// be modified. Must not be called from a user-level thread.
     pub fn csend(&self, dst: Address, tag: i32, ctx: u64, kind: u8, body: Bytes) {

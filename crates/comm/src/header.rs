@@ -49,6 +49,12 @@ pub mod kind {
     pub const RSR: u8 = 1;
     /// A reply to a remote service request.
     pub const RSR_REPLY: u8 = 2;
+    /// A pub-sub data or acknowledgement frame (`chant-pubsub`),
+    /// addressed to a node's relay daemon rather than to a particular
+    /// thread. A distinct kind keeps relay traffic out of the ordinary
+    /// `DATA` matching tables, the same separation the server thread
+    /// gets via `RSR`.
+    pub const PUBSUB: u8 = 3;
 }
 
 /// The signature delivered ahead of every message body.

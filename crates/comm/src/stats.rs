@@ -59,6 +59,14 @@ pub struct CommStats {
     pub bytes_sent: AtomicU64,
     /// Payload bytes received (claimed by receives).
     pub bytes_received: AtomicU64,
+    /// Multicast (`isend_many`) calls. One call however many
+    /// destinations it covers; the per-destination sends are counted in
+    /// [`CommStats::sends`] as usual.
+    pub multicasts: AtomicU64,
+    /// Destinations suppressed by `isend_many`'s per-link dedup: a
+    /// destination listed more than once receives the frame exactly
+    /// once, and the repeats land here instead of on the wire.
+    pub multicast_dedups: AtomicU64,
 }
 
 impl CommStats {
@@ -88,6 +96,8 @@ impl CommStats {
             probes: self.probes.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            multicasts: self.multicasts.load(Ordering::Relaxed),
+            multicast_dedups: self.multicast_dedups.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +119,8 @@ pub struct CommStatsSnapshot {
     pub probes: u64,
     pub bytes_sent: u64,
     pub bytes_received: u64,
+    pub multicasts: u64,
+    pub multicast_dedups: u64,
 }
 
 impl CommStatsSnapshot {
@@ -135,6 +147,10 @@ impl CommStatsSnapshot {
             probes: self.probes.saturating_sub(earlier.probes),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            multicasts: self.multicasts.saturating_sub(earlier.multicasts),
+            multicast_dedups: self
+                .multicast_dedups
+                .saturating_sub(earlier.multicast_dedups),
         }
     }
 }

@@ -373,6 +373,8 @@ impl CommWorld {
             total.probes += s.probes;
             total.bytes_sent += s.bytes_sent;
             total.bytes_received += s.bytes_received;
+            total.multicasts += s.multicasts;
+            total.multicast_dedups += s.multicast_dedups;
         }
         total
     }

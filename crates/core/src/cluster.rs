@@ -48,10 +48,16 @@ pub struct ClusterBuilder {
     transport: TransportConfig,
     profile: CommProfile,
     telemetry: Option<Duration>,
+    telemetry_path: Option<std::path::PathBuf>,
     vps: usize,
     entries: HashMap<String, EntryFn>,
     handlers: HandlerTable,
+    daemons: Vec<(String, DaemonFn)>,
 }
+
+/// A per-node daemon body: runs as its own ULT alongside the server
+/// thread until the cluster shuts down (see [`ClusterBuilder::daemon`]).
+pub type DaemonFn = Arc<dyn Fn(&Arc<ChantNode>) + Send + Sync>;
 
 impl ClusterBuilder {
     fn new() -> ClusterBuilder {
@@ -72,9 +78,11 @@ impl ClusterBuilder {
                 .and_then(|v| v.parse::<u64>().ok())
                 .filter(|&ms| ms > 0)
                 .map(Duration::from_millis),
+            telemetry_path: None,
             vps: chant_ult::VpConfig::vps_from_env(),
             entries: HashMap::new(),
             handlers: HashMap::new(),
+            daemons: Vec::new(),
         }
     }
 
@@ -181,6 +189,34 @@ impl ClusterBuilder {
     pub fn telemetry(mut self, interval: Duration) -> ClusterBuilder {
         assert!(!interval.is_zero(), "telemetry interval must be positive");
         self.telemetry = Some(interval);
+        self
+    }
+
+    /// Where the telemetry emitter writes its NDJSON lines, overriding
+    /// `$CHANT_TELEMETRY_PATH`. Tests use this instead of mutating the
+    /// process environment, which is not safe under parallel test
+    /// threads. A `unix:` prefix still selects a unix socket sink.
+    pub fn telemetry_path(mut self, path: impl Into<std::path::PathBuf>) -> ClusterBuilder {
+        self.telemetry_path = Some(path.into());
+        self
+    }
+
+    /// Register a per-node *daemon*: a ULT spawned on every node between
+    /// the server thread and `main`, running `f` until the cluster shuts
+    /// down. Daemons are runtime plumbing, not application threads — the
+    /// local-quiescence wait does not count them, and they are cancelled
+    /// together with the server thread once the cluster-wide completion
+    /// barrier has passed, so (like RSR service) they stay responsive
+    /// until *every* node is done.
+    ///
+    /// Every process of a multi-process cluster must register the same
+    /// daemons in the same order: daemon spawn order is part of the
+    /// deterministic thread-id layout the termination barrier relies on.
+    pub fn daemon<F>(mut self, name: impl Into<String>, f: F) -> ClusterBuilder
+    where
+        F: Fn(&Arc<ChantNode>) + Send + Sync + 'static,
+    {
+        self.daemons.push((name.into(), Arc::new(f)));
         self
     }
 
@@ -332,6 +368,8 @@ impl ClusterBuilder {
             nodes,
             server: self.server,
             telemetry: self.telemetry,
+            telemetry_path: self.telemetry_path,
+            daemons: Arc::new(self.daemons),
         }
     }
 }
@@ -349,6 +387,10 @@ pub struct ChantCluster {
     server: bool,
     /// Live-telemetry emission interval, when enabled.
     telemetry: Option<Duration>,
+    /// Telemetry sink override (else `$CHANT_TELEMETRY_PATH`).
+    telemetry_path: Option<std::path::PathBuf>,
+    /// Per-node daemons, spawned between the server thread and main.
+    daemons: Arc<Vec<(String, DaemonFn)>>,
 }
 
 impl ChantCluster {
@@ -399,9 +441,14 @@ impl ChantCluster {
     {
         let main = Arc::new(main);
         let started = Instant::now();
-        let telemetry = self
-            .telemetry
-            .map(|iv| crate::telemetry::Emitter::start(iv, self.nodes.clone(), self.world.clone()));
+        let telemetry = self.telemetry.map(|iv| {
+            crate::telemetry::Emitter::start(
+                iv,
+                self.nodes.clone(),
+                self.world.clone(),
+                self.telemetry_path.clone(),
+            )
+        });
         // The completion barrier counts every node in the *world*, not
         // just the ones hosted here — in multi-process mode the DONE and
         // SHUTDOWN messages cross process boundaries like any others.
@@ -412,6 +459,7 @@ impl ChantCluster {
         for node in &self.nodes {
             let node = Arc::clone(node);
             let main = Arc::clone(&main);
+            let daemons = Arc::clone(&self.daemons);
             os_threads.push(
                 std::thread::Builder::new()
                     .name(format!("chant-{}", node.address()))
@@ -427,6 +475,17 @@ impl ChantCluster {
                         } else {
                             None
                         };
+                        // Daemons spawn after the server and before main,
+                        // in registration order, so thread ids stay
+                        // identical on every node of the cluster.
+                        let daemon_tids: Vec<_> = daemons
+                            .iter()
+                            .map(|(name, f)| {
+                                let f = Arc::clone(f);
+                                node.spawn(SpawnAttr::new().name(name.clone()), move |n| f(n))
+                                    .thread
+                            })
+                            .collect();
 
                         node.spawn(SpawnAttr::new().name("main"), move |n| {
                             // Run the user's main; even if it panics, the
@@ -435,7 +494,11 @@ impl ChantCluster {
                             let result = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| main(n)),
                             );
-                            run_shutdown_protocol(n, n_nodes, server_tid.is_some(), result.is_ok());
+                            let resident = usize::from(server_tid.is_some()) + daemon_tids.len();
+                            run_shutdown_protocol(n, n_nodes, resident, result.is_ok());
+                            for tid in daemon_tids {
+                                let _ = n.vp().cancel(tid);
+                            }
                             if let Some(stid) = server_tid {
                                 let _ = n.vp().cancel(stid);
                             }
@@ -546,11 +609,12 @@ impl Drop for ChantCluster {
 /// SHUTDOWN. Because the waits go through the normal polling machinery,
 /// each node's server thread stays fully responsive while the barrier is
 /// in progress.
-fn run_shutdown_protocol(node: &Arc<ChantNode>, n_nodes: u32, has_server: bool, quiesce: bool) {
+fn run_shutdown_protocol(node: &Arc<ChantNode>, n_nodes: u32, resident: usize, quiesce: bool) {
     // Quiesce locally first: wait for every thread except this main and
-    // the server to finish. Skipped when main panicked (its threads may
-    // be wedged); the barrier still runs so other nodes can finish.
-    let base = 1 + usize::from(has_server);
+    // the resident runtime threads (server + daemons) to finish. Skipped
+    // when main panicked (its threads may be wedged); the barrier still
+    // runs so other nodes can finish.
+    let base = 1 + resident;
     while quiesce && node.vp().live_threads() > base {
         node.yield_now();
     }

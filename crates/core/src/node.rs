@@ -15,7 +15,7 @@ use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use chant_comm::{kind, Address, CommWorld, Endpoint, RecvHandle, RecvSpec};
+use chant_comm::{kind, Address, CommWorld, Endpoint, Header, RecvHandle, RecvSpec};
 use chant_ult::{current_tid, SpawnAttr, Tid, Vp};
 use parking_lot::Mutex;
 
@@ -406,6 +406,33 @@ impl ChantNode {
         let handle = self.irecv(src, tag)?;
         self.engine
             .wait_deadline(&handle.inner, std::time::Instant::now() + timeout)?;
+        handle
+            .take()
+            .ok_or_else(|| ChantError::Wire("completed receive had no message".into()))
+    }
+
+    /// Post a receive described by a *raw* [`RecvSpec`] — bypassing the
+    /// naming layer — and wait for it under the node's polling policy,
+    /// bounded by `timeout`.
+    ///
+    /// This is the daemon-side receive primitive: companion subsystems
+    /// that own a message kind of their own (e.g. `chant-pubsub`'s
+    /// relay, which serves [`chant_comm::kind::PUBSUB`] frames the way
+    /// the server thread serves RSR) need to match on kind rather than
+    /// on a thread-addressed `(tag, ctx)` pair, and they need the bound
+    /// so a quiet link still lets their sweep run. Returns the raw
+    /// transport [`Header`] alongside the body; on
+    /// [`ChantError::Timeout`] the posted receive is retired, so a frame
+    /// arriving later is buffered as unexpected rather than matched to a
+    /// dead receive.
+    pub fn recv_match_timeout(
+        &self,
+        spec: RecvSpec,
+        timeout: std::time::Duration,
+    ) -> Result<(Header, Bytes), ChantError> {
+        let handle = self.endpoint.irecv(spec);
+        self.engine
+            .wait_deadline(&handle, std::time::Instant::now() + timeout)?;
         handle
             .take()
             .ok_or_else(|| ChantError::Wire("completed receive had no message".into()))

@@ -376,15 +376,24 @@ impl PollEngine {
             PollingPolicy::SchedulerPollsWq | PollingPolicy::SchedulerPollsWqTestany => {
                 // Figure 6: add probe request to scheduler table; yield.
                 let me = current_tid().expect("wait outside a user-level thread");
-                self.wq
-                    .as_ref()
-                    .expect("WQ policy without its hook")
-                    .register(me, handle.clone());
-                self.vp.block();
-                debug_assert!(
-                    handle.is_complete(),
-                    "WQ hook resumed a thread whose receive is incomplete"
-                );
+                let wq = self.wq.as_ref().expect("WQ policy without its hook");
+                wq.register(me, handle.clone());
+                // `block` can also be completed by a stale wakeup token
+                // (e.g. a condvar notify that raced the notified
+                // waiter's departure elsewhere on this VP): re-park
+                // until the receive is really complete — our table
+                // entry is still registered on a spurious wake.
+                loop {
+                    self.vp.block();
+                    if handle.is_complete() {
+                        break;
+                    }
+                }
+                // Idempotent: the hook's completion wake already
+                // dropped our entry; an exit via stale token (receive
+                // completed between our register and the hook's next
+                // scan) has not.
+                wq.unregister(me);
             }
             PollingPolicy::SchedulerPollsPs => {
                 // §4.2: store the request in the TCB; the scheduler tests
@@ -497,13 +506,18 @@ impl PollEngine {
                 for h in handles {
                     wq.register(me, (*h).clone());
                 }
-                self.vp.block();
-                // The scan woke us for one completed request and dropped
-                // our other entries; find a completed one.
-                handles
-                    .iter()
-                    .position(|h| h.is_complete())
-                    .expect("WQ wait_any resumed with no completed receive")
+                // As in `wait`: a stale wakeup token can complete the
+                // block before any receive has — re-park until one is
+                // really done, then drop whatever entries the hook has
+                // not already cleaned up.
+                let i = loop {
+                    self.vp.block();
+                    if let Some(i) = handles.iter().position(|h| h.is_complete()) {
+                        break i;
+                    }
+                };
+                wq.unregister(me);
+                i
             }
             PollingPolicy::SchedulerPollsPs => {
                 let owned: Vec<RecvHandle> = handles.iter().map(|h| (*h).clone()).collect();

@@ -34,6 +34,22 @@ pub mod tags {
     pub const DONE: i32 = 0xFFFE;
     /// Termination-barrier "all may exit" tag (inside the control range).
     pub const SHUTDOWN: i32 = 0xFFFD;
+
+    /// First tag reserved for pub-sub data traffic (`chant-pubsub`). A
+    /// topic's data frames carry the tag
+    /// `PUBSUB_BASE + (topic % PUBSUB_TOPIC_TAGS)`, so per-topic flows
+    /// are distinguishable on the wire (traces, telemetry, the fault
+    /// shim) without any per-topic registration round-trip. The range
+    /// sits *below* the control range on purpose: pub-sub data is user
+    /// traffic and must be subject to fault injection, unlike the
+    /// shutdown barrier.
+    pub const PUBSUB_BASE: i32 = 0xFE00;
+    /// Number of distinct per-topic data tags.
+    pub const PUBSUB_TOPIC_TAGS: i32 = 0xF0;
+    /// Hop-by-hop acknowledgement tag for pub-sub data frames.
+    pub const PUBSUB_ACK: i32 = 0xFEF0;
+    /// Last tag reserved for pub-sub traffic (inclusive).
+    pub const PUBSUB_END: i32 = 0xFEFF;
 }
 
 /// Reserved ranges of the RSR function-code space (`u32`).
@@ -80,6 +96,17 @@ pub mod fns {
     /// `RMA_GET..=RMA_END` within the extension range.
     pub const RMA_END: u32 = 0x10F;
 
+    /// Subscription update (`chant-pubsub`): the caller node asserts its
+    /// *absolute* subscriber count for a topic at the topic's home node.
+    /// Idempotent by construction (absolute counts plus a per-node
+    /// version), so it can ride both the exactly-once `rsr_call` path
+    /// (subscribe/unsubscribe) and the fire-and-forget periodic resync.
+    pub const PUBSUB_SUBSCRIBE: u32 = 0x110;
+    /// Last code of the pub-sub sub-range (inclusive); `chant-pubsub`
+    /// owns `PUBSUB_SUBSCRIBE..=PUBSUB_FN_END` within the extension
+    /// range.
+    pub const PUBSUB_FN_END: u32 = 0x11F;
+
     /// First function code available to user-registered RSR handlers.
     pub const USER_BASE: u32 = 1000;
 }
@@ -88,7 +115,10 @@ pub mod fns {
 // not a debugging session.
 const _: () = {
     assert!(tags::COLLECTIVE_BASE <= tags::COLLECTIVE_END);
-    assert!(tags::COLLECTIVE_END < tags::CONTROL_BASE);
+    assert!(tags::COLLECTIVE_END < tags::PUBSUB_BASE);
+    assert!(tags::PUBSUB_BASE + tags::PUBSUB_TOPIC_TAGS <= tags::PUBSUB_ACK);
+    assert!(tags::PUBSUB_ACK <= tags::PUBSUB_END);
+    assert!(tags::PUBSUB_END < tags::CONTROL_BASE);
     assert!(tags::CONTROL_BASE <= tags::SHUTDOWN);
     assert!(tags::SHUTDOWN < tags::DONE);
     assert!(tags::DONE <= tags::CONTROL_END);
@@ -99,7 +129,9 @@ const _: () = {
     assert!(fns::RMA_PUT < fns::RMA_FETCH_ADD);
     assert!(fns::RMA_FETCH_ADD < fns::RMA_COMPARE_SWAP);
     assert!(fns::RMA_COMPARE_SWAP <= fns::RMA_END);
-    assert!(fns::RMA_END <= fns::EXT_END);
+    assert!(fns::RMA_END < fns::PUBSUB_SUBSCRIBE);
+    assert!(fns::PUBSUB_SUBSCRIBE <= fns::PUBSUB_FN_END);
+    assert!(fns::PUBSUB_FN_END <= fns::EXT_END);
     assert!(fns::EXT_END < fns::USER_BASE);
 };
 
@@ -113,6 +145,7 @@ mod tests {
     fn tag_ranges_are_disjoint() {
         let ranges = [
             ("collective", tags::COLLECTIVE_BASE, tags::COLLECTIVE_END),
+            ("pubsub", tags::PUBSUB_BASE, tags::PUBSUB_END),
             ("control", tags::CONTROL_BASE, tags::CONTROL_END),
         ];
         for (i, a) in ranges.iter().enumerate() {
@@ -171,5 +204,23 @@ mod tests {
         }
         assert!((tags::CONTROL_BASE..=tags::CONTROL_END).contains(&tags::DONE));
         assert!((tags::CONTROL_BASE..=tags::CONTROL_END).contains(&tags::SHUTDOWN));
+    }
+
+    /// Pub-sub reservations: the fn sub-range nests inside the extension
+    /// range without touching RMA's, every topic tag lands inside the
+    /// pub-sub tag range, and none of it is control-exempt.
+    #[test]
+    fn pubsub_reservations_fit_their_ranges() {
+        assert!((fns::EXT_BASE..=fns::EXT_END).contains(&fns::PUBSUB_SUBSCRIBE));
+        assert!((fns::EXT_BASE..=fns::EXT_END).contains(&fns::PUBSUB_FN_END));
+        const { assert!(fns::RMA_END < fns::PUBSUB_SUBSCRIBE) };
+        for topic in [0u64, 1, 0xEF, 0xF0, u64::MAX] {
+            let tag = tags::PUBSUB_BASE + (topic % tags::PUBSUB_TOPIC_TAGS as u64) as i32;
+            assert!((tags::PUBSUB_BASE..tags::PUBSUB_ACK).contains(&tag));
+        }
+        assert!((tags::PUBSUB_BASE..=tags::PUBSUB_END).contains(&tags::PUBSUB_ACK));
+        // Data and ack tags sit below the fault shim's control exemption:
+        // pub-sub data must be lossy under an installed shim.
+        const { assert!(tags::PUBSUB_END < tags::CONTROL_BASE) };
     }
 }

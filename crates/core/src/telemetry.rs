@@ -108,8 +108,14 @@ enum Sink {
 }
 
 impl Sink {
-    fn open() -> Option<Sink> {
-        let path = std::env::var(PATH_ENV).unwrap_or_else(|_| DEFAULT_PATH.to_string());
+    /// Open the sink at `over` when given (the
+    /// [`crate::ClusterBuilder::telemetry_path`] knob), else wherever
+    /// [`PATH_ENV`] points, else [`DEFAULT_PATH`].
+    fn open(over: Option<&std::path::Path>) -> Option<Sink> {
+        let path = match over {
+            Some(p) => p.to_string_lossy().into_owned(),
+            None => std::env::var(PATH_ENV).unwrap_or_else(|_| DEFAULT_PATH.to_string()),
+        };
         if let Some(sock) = path.strip_prefix("unix:") {
             #[cfg(unix)]
             return std::os::unix::net::UnixStream::connect(sock)
@@ -157,12 +163,17 @@ pub(crate) struct Emitter {
 pub static SPAWN_FAILURES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Emitter {
-    pub fn start(interval: Duration, nodes: Vec<Arc<ChantNode>>, world: CommWorld) -> Emitter {
+    pub fn start(
+        interval: Duration,
+        nodes: Vec<Arc<ChantNode>>,
+        world: CommWorld,
+        path: Option<std::path::PathBuf>,
+    ) -> Emitter {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop2 = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("chant-telemetry".into())
-            .spawn(move || run(interval, &nodes, &world, &stop2))
+            .spawn(move || run(interval, &nodes, &world, path.as_deref(), &stop2))
             .map_err(|e| {
                 SPAWN_FAILURES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 eprintln!("chant: telemetry emitter thread failed to spawn ({e}); telemetry disabled for this run");
@@ -184,9 +195,10 @@ fn run(
     interval: Duration,
     nodes: &[Arc<ChantNode>],
     world: &CommWorld,
+    path: Option<&std::path::Path>,
     stop: &(Mutex<bool>, Condvar),
 ) {
-    let Some(mut sink) = Sink::open() else {
+    let Some(mut sink) = Sink::open(path) else {
         return;
     };
     let started = Instant::now();

@@ -197,6 +197,22 @@ pub enum Event {
         /// 1-based retry attempt number.
         attempt: u32,
     },
+    /// A pub-sub publisher injected a message into its topic's fan-out
+    /// tree (viewed from the publishing node; pairs with every
+    /// subscriber node's `PubsubDeliver`).
+    PubsubPublish {
+        /// Topic identifier.
+        topic: u64,
+        /// Per-(origin, topic) publish sequence number.
+        seq: u64,
+    },
+    /// A pub-sub message reached a local subscriber's mailbox.
+    PubsubDeliver {
+        /// Topic identifier.
+        topic: u64,
+        /// The publish's sequence number.
+        seq: u64,
+    },
 }
 
 impl Event {
@@ -228,6 +244,8 @@ impl Event {
             },
             Event::RsrCall { .. } => "rsr.call",
             Event::RsrRetry { .. } => "rsr.retry",
+            Event::PubsubPublish { .. } => "pubsub.publish",
+            Event::PubsubDeliver { .. } => "pubsub.deliver",
         }
     }
 
@@ -337,6 +355,8 @@ mod tests {
             Event::Fault { kind: FaultKind::Reorder, id: 0 },
             Event::RsrCall { fn_id: 1000, seq: 4 },
             Event::RsrRetry { fn_id: 1000, attempt: 2 },
+            Event::PubsubPublish { topic: 42, seq: 7 },
+            Event::PubsubDeliver { topic: 42, seq: 7 },
         ] {
             let t = TimedEvent { ts_ns: 5, event: e };
             let json = serde_json::to_string(&t).unwrap();

@@ -207,6 +207,10 @@ pub fn lanes_to_chrome_trace(lanes: &[LaneTrace]) -> Value {
                             ("fn_id", u(fn_id as u64)),
                             ("attempt", u(attempt as u64)),
                         ]),
+                        Event::PubsubPublish { topic, seq }
+                        | Event::PubsubDeliver { topic, seq } => {
+                            obj(vec![("topic", u(topic)), ("seq", u(seq))])
+                        }
                         _ => obj(vec![]),
                     };
                     let cat = match ev {
@@ -217,6 +221,7 @@ pub fn lanes_to_chrome_trace(lanes: &[LaneTrace]) -> Value {
                         Event::Msgtest { .. } | Event::Testany { .. } => "poll",
                         Event::Fault { .. } => "fault",
                         Event::RsrCall { .. } | Event::RsrRetry { .. } => "rsr",
+                        Event::PubsubPublish { .. } | Event::PubsubDeliver { .. } => "pubsub",
                         _ => "sched",
                     };
                     events.push(instant(ev.name(), cat, tid, te.ts_ns, args));

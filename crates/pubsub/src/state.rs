@@ -1,0 +1,301 @@
+//! Per-node pub-sub state: configuration, counters, the home-side
+//! subscription registry, local subscriber queues, and the in-flight
+//! retransmission ledger.
+//!
+//! One [`PubsubState`] exists per node, installed through
+//! [`chant_core::ChantNode::extension`]; the SDK threads, the RSR
+//! subscription handler, and the relay daemon all share it. The inner
+//! maps are guarded by a host-level `parking_lot::Mutex` (never held
+//! across an engine wait); the subscriber queues themselves are
+//! ULT-level mutex/condvar pairs so a blocked `recv` yields its VP lane
+//! instead of spinning.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use chant_comm::Address;
+use chant_ult::{UltCondvar, UltMutex};
+use parking_lot::Mutex;
+
+/// Tunables for the pub-sub service, set once per cluster through
+/// [`crate::with_pubsub_config`].
+///
+/// The defaults are test-scale renditions of atm0s-sdn's production
+/// constants (`PUBSUB_CHANNEL_RESYNC_MS` = 5000, channel timeout
+/// 20000 ms): the ratios are preserved (timeout = 4 × resync) but the
+/// absolute values shrink so a late joiner converges, and a lost
+/// unsubscribe ages out, within a test's patience.
+#[derive(Clone, Debug)]
+pub struct PubsubConfig {
+    /// How often each node re-asserts its subscriber counts to every
+    /// topic home (the resync that heals lost control traffic).
+    pub resync_interval: Duration,
+    /// How long a home keeps a registrant it has not heard from. Must
+    /// comfortably exceed `resync_interval` or healthy subscribers
+    /// flap.
+    pub topic_timeout: Duration,
+    /// Fan-out tree arity (children per node).
+    pub arity: usize,
+    /// Retransmission timeout for unacknowledged data-frame hops.
+    pub rto: Duration,
+    /// Retransmission attempts per hop before the frame is abandoned
+    /// (`pubsub.expired`); at-least-once, not at-all-costs.
+    pub max_attempts: u32,
+    /// Capacity of each `(topic, origin, seq)` dedup window (node-level
+    /// and per-subscriber).
+    pub dedup_window: usize,
+}
+
+impl Default for PubsubConfig {
+    fn default() -> PubsubConfig {
+        PubsubConfig {
+            resync_interval: Duration::from_millis(250),
+            topic_timeout: Duration::from_secs(1),
+            arity: 4,
+            rto: Duration::from_millis(50),
+            max_attempts: 10,
+            dedup_window: 1024,
+        }
+    }
+}
+
+/// One delivered publish, as a subscriber receives it.
+#[derive(Clone, Debug)]
+pub struct PubsubMsg {
+    /// Topic it was published to.
+    pub topic: u64,
+    /// The publishing node.
+    pub origin: Address,
+    /// The origin's per-topic publish sequence number.
+    pub seq: u64,
+    /// The payload bytes.
+    pub payload: Bytes,
+    /// Publisher wall clock at publish (UNIX nanoseconds).
+    pub sent_ns: u64,
+}
+
+/// Monotonic pub-sub counters for one node.
+#[derive(Default)]
+pub(crate) struct PubsubStats {
+    pub published: AtomicU64,
+    pub delivered: AtomicU64,
+    pub forwarded: AtomicU64,
+    pub acks: AtomicU64,
+    pub retransmits: AtomicU64,
+    pub dup_dropped: AtomicU64,
+    pub expired: AtomicU64,
+    pub resyncs: AtomicU64,
+    pub control_updates: AtomicU64,
+    pub malformed: AtomicU64,
+}
+
+impl PubsubStats {
+    pub(crate) fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one node's pub-sub counters
+/// (see [`crate::PubsubNode::pubsub_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PubsubStatsSnapshot {
+    /// Publishes issued by this node's threads.
+    pub published: u64,
+    /// Messages handed to local subscriber queues (counted per
+    /// subscriber).
+    pub delivered: u64,
+    /// Data frames forwarded to fan-out-tree children.
+    pub forwarded: u64,
+    /// Hop acknowledgements received.
+    pub acks: u64,
+    /// Data-frame hop retransmissions.
+    pub retransmits: u64,
+    /// Duplicate data frames dropped (node-level or per-subscriber).
+    pub dup_dropped: u64,
+    /// Frames abandoned after `max_attempts` retransmissions.
+    pub expired: u64,
+    /// Periodic subscription resyncs sent.
+    pub resyncs: u64,
+    /// Subscription updates applied at this node (as a topic home).
+    pub control_updates: u64,
+    /// Malformed pub-sub bodies dropped.
+    pub malformed: u64,
+}
+
+/// A bounded first-in-first-out duplicate-suppression window over keys
+/// of type `K`. `insert` answers "is this new?" and evicts the oldest
+/// key once the window is full — the same shape as the RSR server's
+/// per-client dedup window, generalized over the key.
+pub(crate) struct SeqWindow<K: Hash + Eq + Copy> {
+    set: HashSet<K>,
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Copy> Default for SeqWindow<K> {
+    fn default() -> SeqWindow<K> {
+        SeqWindow {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Copy> SeqWindow<K> {
+    /// Record `key`; returns `false` if it was already in the window
+    /// (i.e. a duplicate). `cap` is passed per call because the config
+    /// may be installed after the first frames arrive.
+    pub(crate) fn insert(&mut self, key: K, cap: usize) -> bool {
+        let cap = cap.max(1);
+        if !self.set.insert(key) {
+            return false;
+        }
+        self.order.push_back(key);
+        while self.order.len() > cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// What a topic home knows about one registered node.
+pub(crate) struct RegEntry {
+    /// The node's asserted absolute local subscriber count.
+    pub count: u32,
+    /// The version that count arrived with (monotonic per node).
+    pub version: u64,
+    /// When the home last heard from the node (any version).
+    pub last_heard: Instant,
+}
+
+/// An unacknowledged data-frame hop: the re-encodable body plus which
+/// children still owe an ack.
+pub(crate) struct Pending {
+    /// The tag the frame travels on ([`crate::wire::topic_tag`]).
+    pub tag: i32,
+    /// The encoded frame body, resent verbatim.
+    pub body: Bytes,
+    /// `(child, acked)` per tree edge out of this node.
+    pub children: Vec<(Address, bool)>,
+    /// Send attempts so far (1 = original send).
+    pub attempts: u32,
+    /// When the frame was last (re)sent to any child.
+    pub last_sent: Instant,
+}
+
+/// One local subscriber: an id (for unsubscribe bookkeeping) and the
+/// ULT-level queue its `recv` blocks on.
+pub(crate) struct SubEntry {
+    pub id: u64,
+    pub queue: Arc<UltMutex<SubQueue>>,
+    pub cv: Arc<UltCondvar>,
+}
+
+/// A subscriber's delivery queue plus its private `(origin, seq)`
+/// dedup window — the ISSUE's per-subscriber deduplication, so a
+/// subscriber created mid-retransmission still sees each publish once.
+#[derive(Default)]
+pub(crate) struct SubQueue {
+    pub items: VecDeque<PubsubMsg>,
+    pub seen: SeqWindow<(Address, u64)>,
+}
+
+/// Everything guarded by the host-level state lock.
+#[derive(Default)]
+pub(crate) struct Inner {
+    /// Home-side registry: topic → registrant node → entry.
+    pub registry: HashMap<u64, HashMap<Address, RegEntry>>,
+    /// Local subscribers by topic.
+    pub local: HashMap<u64, Vec<Arc<SubEntry>>>,
+    /// This node's per-topic subscription-update version counter.
+    pub sub_version: HashMap<u64, u64>,
+    /// This node's per-topic publish sequence counter.
+    pub publish_seq: HashMap<u64, u64>,
+    /// Node-level `(topic, origin, seq)` dedup window.
+    pub seen: SeqWindow<(u64, Address, u64)>,
+    /// In-flight hops by `(topic, origin, seq)`.
+    pub pending: HashMap<(u64, Address, u64), Pending>,
+    /// Next local subscriber id.
+    pub next_sub_id: u64,
+}
+
+/// Per-node pub-sub state (an [`chant_core::ChantNode::extension`]).
+#[derive(Default)]
+pub(crate) struct PubsubState {
+    /// Cluster config; written by the daemon and the RSR handler
+    /// (first writer wins), read per use so SDK calls racing startup
+    /// just see defaults until it lands.
+    pub cfg: OnceLock<PubsubConfig>,
+    pub stats: PubsubStats,
+    pub inner: Mutex<Inner>,
+    /// This node's trace lane (`pubsub{pe}.{process}`), registered on
+    /// first use; `None` once resolved means no tracer was installed.
+    #[cfg(feature = "trace")]
+    pub lane: OnceLock<Option<chant_obs::tracer::LaneHandle>>,
+}
+
+impl PubsubState {
+    /// The installed config, or defaults if none landed yet.
+    pub(crate) fn config(&self) -> PubsubConfig {
+        self.cfg.get().cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn snapshot(&self) -> PubsubStatsSnapshot {
+        let s = &self.stats;
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        PubsubStatsSnapshot {
+            published: ld(&s.published),
+            delivered: ld(&s.delivered),
+            forwarded: ld(&s.forwarded),
+            acks: ld(&s.acks),
+            retransmits: ld(&s.retransmits),
+            dup_dropped: ld(&s.dup_dropped),
+            expired: ld(&s.expired),
+            resyncs: ld(&s.resyncs),
+            control_updates: ld(&s.control_updates),
+            malformed: ld(&s.malformed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_window_dedups_within_capacity() {
+        let mut w = SeqWindow::default();
+        assert!(w.insert(1u64, 4));
+        assert!(w.insert(2, 4));
+        assert!(!w.insert(1, 4), "duplicate must be reported");
+        assert!(!w.insert(2, 4));
+    }
+
+    #[test]
+    fn seq_window_evicts_oldest_first() {
+        let mut w = SeqWindow::default();
+        for k in 0u64..4 {
+            assert!(w.insert(k, 4));
+        }
+        assert!(w.insert(4, 4)); // evicts 0
+        assert!(w.insert(0, 4), "evicted key is forgotten");
+        assert!(!w.insert(4, 4), "recent key still remembered");
+    }
+
+    #[test]
+    fn seq_window_cap_is_clamped_to_one() {
+        let mut w = SeqWindow::default();
+        assert!(w.insert(7u64, 0));
+        assert!(!w.insert(7, 0), "window always remembers the last key");
+        assert!(w.insert(8, 0));
+    }
+}

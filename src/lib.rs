@@ -9,6 +9,9 @@
 //!   global thread operations);
 //! * [`rma`] — one-sided remote memory (registered segments with
 //!   get/put/atomics) built on the remote-service-request layer;
+//! * [`pubsub`] — topic-based publish/subscribe with per-topic fan-out
+//!   trees over the transport, exactly-once subscription control, and
+//!   at-least-once deduplicated data delivery;
 //! * [`sim`] — the calibrated discrete-event simulator used to regenerate
 //!   the paper's tables and figures.
 //!
@@ -16,6 +19,7 @@
 
 pub use chant_comm as comm;
 pub use chant_core as chant;
+pub use chant_pubsub as pubsub;
 pub use chant_rma as rma;
 pub use chant_sim as sim;
 pub use chant_ult as ult;

@@ -9,6 +9,8 @@
 //! (default 1/7/42, overridable with `CHANT_VPS_SEED`) vary the amount
 //! of unrelated steal pressure so CI sweeps different interleavings.
 
+mod common;
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,18 +19,7 @@ use chant::chant::{ChantCluster, ChantError, ChanterId, PollingPolicy, RecvSrc};
 use chant::ult::{
     JoinError, SpawnAttr, ThreadState, UltCondvar, UltMutex, UltSemaphore, Vp, VpConfig,
 };
-
-/// Seeds to sweep: `CHANT_VPS_SEED` pins one (for the CI matrix), else
-/// the standard trio.
-fn seeds() -> Vec<u64> {
-    match std::env::var("CHANT_VPS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-    {
-        Some(s) => vec![s],
-        None => vec![1, 7, 42],
-    }
-}
+use common::{for_each_transport, seeds, Backend};
 
 /// Spawn `n` detached threads that yield a seed-derived number of times:
 /// pure steal pressure, keeping every lane's queues busy while the
@@ -122,13 +113,13 @@ fn cancelled_semaphore_waiter_is_skipped_with_lanes_stealing() {
     }
 }
 
-/// A chanter blocked in a policy-specific receive wait is cancelled;
-/// the wakeup machinery of that policy (thread polls, scheduler polls
-/// with a work queue, or per-TCB pending polls) must neither hang on
-/// the doomed waiter nor lose the message destined for the live one —
-/// with four lanes per node delivering and stealing concurrently.
-#[test]
-fn cancelled_receiver_under_each_polling_policy_with_four_lanes() {
+// A chanter blocked in a policy-specific receive wait is cancelled;
+// the wakeup machinery of that policy (thread polls, scheduler polls
+// with a work queue, or per-TCB pending polls) must neither hang on
+// the doomed waiter nor lose the message destined for the live one —
+// with four lanes per node delivering and stealing concurrently, on
+// every transport backend.
+for_each_transport!(cancelled_receiver_under_each_polling_policy_with_four_lanes, |backend: Backend| {
     for policy in [
         PollingPolicy::ThreadPolls,
         PollingPolicy::SchedulerPollsWq,
@@ -141,6 +132,7 @@ fn cancelled_receiver_under_each_polling_policy_with_four_lanes() {
                 .pes(2)
                 .policy(policy)
                 .vps(4)
+                .transport(backend.config())
                 .build();
             cluster.run(move |node| {
                 let me = node.self_id();
@@ -178,11 +170,11 @@ fn cancelled_receiver_under_each_polling_policy_with_four_lanes() {
             assert_eq!(
                 cancelled.load(Ordering::Relaxed),
                 1,
-                "[{policy:?}] seed {seed}: cancel path must have run"
+                "[{backend:?}/{policy:?}] seed {seed}: cancel path must have run"
             );
         }
     }
-}
+});
 
 /// `CHANT_VPS` is the env knob the builder defaults from; make sure a
 /// cluster built under it completes a full message exchange (the CI

@@ -6,37 +6,36 @@
 //! policy without monopolising the processor, nonblocking handles with
 //! bounded waits, and atomicity of concurrent `fetch_add` streams
 //! (verified by a sum-and-permutation check on the returned old
-//! values).
+//! values). The stateless suites expand through `for_each_transport!`
+//! so every backend carries one-sided traffic, not just the in-process
+//! oracle.
+
+mod common;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use chant::chant::{ChantCluster, ChantError, ChantGroup, ChantNode, ChanterId, PollingPolicy};
+use chant::chant::{ChantCluster, ChantError, ChantGroup, ChantNode, PollingPolicy};
 use chant::comm::{Address, LatencyModel};
 use chant::rma::{with_rma, RmaNode, RmaResult};
 use chant::ult::SpawnAttr;
+use common::{for_each_transport, Backend};
 
 /// Everyone registers `seg` at `size` bytes, then synchronises so no
 /// access can race a registration (segment ids are agreed out of band,
 /// like MPI window handles).
 fn register_all(node: &Arc<ChantNode>, seg: u32, size: usize, color: u8) -> ChantGroup {
     node.rma_register(seg, size);
-    let me = node.self_id();
-    let pes = node.world().pes();
-    let members: Vec<_> = (0..pes).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
-    let group = ChantGroup::new(node, members, color).unwrap();
-    group.barrier(node).unwrap();
-    group
+    common::main_group(node, color)
 }
 
 // ---------------------------------------------------------------------
 // Get/put roundtrip, remote and local fast path
 // ---------------------------------------------------------------------
 
-#[test]
-fn get_put_roundtrip_remote_and_local() {
-    let cluster = with_rma(ChantCluster::builder().pes(2)).build();
+for_each_transport!(get_put_roundtrip_remote_and_local, |backend: Backend| {
+    let cluster = with_rma(ChantCluster::builder().pes(2).transport(backend.config())).build();
     cluster.run(|node| {
         let group = register_all(node, 1, 64, 0);
         let me = node.self_id();
@@ -59,7 +58,7 @@ fn get_put_roundtrip_remote_and_local() {
             assert_eq!(&seg.read(8, 9).unwrap()[..], b"one-sided");
         }
     });
-}
+});
 
 // ---------------------------------------------------------------------
 // Typed errors survive the wire
@@ -224,20 +223,19 @@ fn nonblocking_handles_and_wait_timeout_under_all_policies() {
 // Atomicity: concurrent fetch_add streams
 // ---------------------------------------------------------------------
 
-/// Clients on both nodes hammer one cell with `fetch_add(1)`. Atomicity
-/// and exactly-once execution mean the returned "old" values, pooled
-/// across all clients, are a permutation of `0..N` — any lost, doubled,
-/// or torn update breaks the permutation — and the final cell value is
-/// exactly `N`.
-#[test]
-fn concurrent_fetch_add_is_a_permutation() {
+// Clients on both nodes hammer one cell with `fetch_add(1)`. Atomicity
+// and exactly-once execution mean the returned "old" values, pooled
+// across all clients, are a permutation of `0..N` — any lost, doubled,
+// or torn update breaks the permutation — and the final cell value is
+// exactly `N`.
+for_each_transport!(concurrent_fetch_add_is_a_permutation, |backend: Backend| {
     const CLIENTS_PER_NODE: usize = 3;
     const ADDS_PER_CLIENT: u64 = 20;
     const TOTAL: u64 = 2 * CLIENTS_PER_NODE as u64 * ADDS_PER_CLIENT;
 
     let observed = Arc::new(Mutex::new(Vec::new()));
     let obs2 = Arc::clone(&observed);
-    let cluster = with_rma(ChantCluster::builder().pes(2)).build();
+    let cluster = with_rma(ChantCluster::builder().pes(2).transport(backend.config())).build();
     cluster.run(move |node| {
         let group = register_all(node, 5, 8, 0);
         let home = Address::new(0, 0);
@@ -258,7 +256,10 @@ fn concurrent_fetch_add_is_a_permutation() {
     assert_eq!(olds.len() as u64, TOTAL);
     olds.sort_unstable();
     let expect: Vec<u64> = (0..TOTAL).collect();
-    assert_eq!(olds, expect, "old values are not a permutation of 0..N");
+    assert_eq!(
+        olds, expect,
+        "[{backend:?}] old values are not a permutation of 0..N"
+    );
     assert_eq!(
         cluster
             .node(0, 0)
@@ -268,15 +269,14 @@ fn concurrent_fetch_add_is_a_permutation() {
             .unwrap(),
         TOTAL
     );
-}
+});
 
 // ---------------------------------------------------------------------
 // compare_swap semantics
 // ---------------------------------------------------------------------
 
-#[test]
-fn compare_swap_success_and_failure() {
-    let cluster = with_rma(ChantCluster::builder().pes(2)).build();
+for_each_transport!(compare_swap_success_and_failure, |backend: Backend| {
+    let cluster = with_rma(ChantCluster::builder().pes(2).transport(backend.config())).build();
     cluster.run(|node| {
         let group = register_all(node, 6, 8, 0);
         if node.self_id().pe == 0 {
@@ -291,15 +291,14 @@ fn compare_swap_success_and_failure() {
         }
         group.barrier(node).unwrap();
     });
-}
+});
 
 // ---------------------------------------------------------------------
 // Unregistration
 // ---------------------------------------------------------------------
 
-#[test]
-fn unregistered_segment_rejects_later_ops() {
-    let cluster = with_rma(ChantCluster::builder().pes(2)).build();
+for_each_transport!(unregistered_segment_rejects_later_ops, |backend: Backend| {
+    let cluster = with_rma(ChantCluster::builder().pes(2).transport(backend.config())).build();
     cluster.run(|node| {
         let group = register_all(node, 7, 8, 0);
         let me = node.self_id();
@@ -320,4 +319,4 @@ fn unregistered_segment_rejects_later_ops() {
         }
         group.barrier(node).unwrap();
     });
-}
+});

@@ -8,6 +8,8 @@
 //! the seed, so CI can sweep a matrix) and check *exactly-once* effects
 //! of non-idempotent remote operations end to end.
 
+mod common;
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,16 +21,10 @@ use chant::chant::{
     ChantCluster, ChantError, ChanterId, FaultConfig, PollingPolicy, RecvSrc, RetryPolicy,
 };
 use chant::comm::{kind, Address};
+use common::fault_seed;
 
 const FN_ECHO: u32 = 1000;
 const FN_COUNT: u32 = 1001;
-
-fn fault_seed(default: u64) -> u64 {
-    std::env::var("CHANT_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
 
 // ---------------------------------------------------------------------
 // Malformed requests: counted and noted, never lost in a panic or a

@@ -6,16 +6,17 @@
 //! emitter folds the always-on counter families (comm, scheduler, RSR,
 //! faults, transport) into flat JSON lines that `chant-top` renders.
 //!
-//! One test only: the sink path comes from the process-global
-//! `CHANT_TELEMETRY_PATH` environment variable, and this file being its
-//! own test binary keeps that from racing other tests.
+//! The sink path goes through `ClusterBuilder::telemetry_path` — no
+//! process-global environment mutation, so this test is safe under
+//! parallel test threads and the path cannot collide across
+//! concurrently-running binaries (it carries the pid).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use chant::chant::{telemetry, ChantCluster, ChanterId, TransportConfig};
+use chant::chant::{ChantCluster, ChanterId, TransportConfig};
 
 const FN_COUNT: u32 = 1001;
 
@@ -23,7 +24,6 @@ const FN_COUNT: u32 = 1001;
 fn emitter_streams_parseable_deltas_that_sum_to_the_run_totals() {
     let path = std::env::temp_dir().join(format!("chant_telemetry_{}.ndjson", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    std::env::set_var(telemetry::PATH_ENV, &path);
 
     const N: u32 = 64;
     let counter = Arc::new(AtomicU32::new(0));
@@ -32,6 +32,7 @@ fn emitter_streams_parseable_deltas_that_sum_to_the_run_totals() {
         .pes(2)
         .transport(TransportConfig::tcp_loopback())
         .telemetry(Duration::from_millis(5))
+        .telemetry_path(&path)
         .rsr_handler(FN_COUNT, move |_node, req| {
             c2.fetch_add(1, Ordering::SeqCst);
             Ok(Bytes::copy_from_slice(&req.args))
@@ -55,7 +56,6 @@ fn emitter_streams_parseable_deltas_that_sum_to_the_run_totals() {
 
     let text = std::fs::read_to_string(&path).expect("telemetry file was written");
     let _ = std::fs::remove_file(&path);
-    std::env::remove_var(telemetry::PATH_ENV);
 
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     assert!(!lines.is_empty(), "no telemetry ticks emitted:\n{text}");

@@ -22,6 +22,8 @@
 //! compares the endpoint-level statistics — the matching engine must
 //! not be able to tell the transports apart.
 
+mod common;
+
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,64 +35,9 @@ use chant::chant::{
     TransportConfig,
 };
 use chant::comm::{kind, Address, CommWorld, RecvSpec};
+use common::{fault_seed, for_each_transport, Backend};
 
 const FN_COUNT: u32 = 1001;
-
-fn fault_seed(default: u64) -> u64 {
-    std::env::var("CHANT_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
-/// The backends under test. `config()` is the only thing a test may
-/// vary: everything observable above the transport must come out the
-/// same.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Backend {
-    InProcess,
-    TcpLoopback,
-    /// The event-loop TCP backend (linux-only): same sockets, but one
-    /// epoll poller thread instead of a drain thread per connection.
-    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
-    TcpEventLoopback,
-}
-
-impl Backend {
-    fn config(self) -> TransportConfig {
-        match self {
-            Backend::InProcess => TransportConfig::InProcess,
-            Backend::TcpLoopback => TransportConfig::tcp_loopback(),
-            Backend::TcpEventLoopback => TransportConfig::tcp_event_loopback(),
-        }
-    }
-}
-
-/// Expand one conformance scenario into a `#[test]` per backend, so a
-/// failure names the backend that diverged.
-macro_rules! for_each_transport {
-    ($name:ident, $body:expr) => {
-        mod $name {
-            use super::*;
-
-            #[test]
-            fn inproc() {
-                ($body)(Backend::InProcess);
-            }
-
-            #[test]
-            fn tcp() {
-                ($body)(Backend::TcpLoopback);
-            }
-
-            #[cfg(target_os = "linux")]
-            #[test]
-            fn tcp_event() {
-                ($body)(Backend::TcpEventLoopback);
-            }
-        }
-    };
-}
 
 // ---------------------------------------------------------------------
 // Per-link FIFO ordering.
@@ -509,10 +456,7 @@ for_each_transport!(rma_exactly_once_atomics_under_dup_and_reorder, |backend: Ba
     .build();
     cluster.run(|node| {
         node.rma_register(SEG, 8);
-        let me = node.self_id();
-        let members: Vec<_> = (0..2).map(|pe| ChanterId::new(pe, 0, me.thread)).collect();
-        let group = chant::chant::ChantGroup::new(node, members, 1).unwrap();
-        group.barrier(node).unwrap();
+        crate::common::main_group(node, 1);
         // Clients on both nodes hammer both segments: a fetch_add is
         // non-idempotent, so a re-executed duplicate (or a lost op) is
         // visible in the final sums.
