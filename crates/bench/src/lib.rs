@@ -16,6 +16,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 pub mod latency;
+pub mod load;
 pub mod matching;
 
 /// The paper's published numbers, transcribed from the text.

@@ -1,0 +1,324 @@
+//! Key-choice and operation-mix generation for the KV load harness —
+//! the YCSB-style side of `kv_loadgen`.
+//!
+//! Everything here is deterministic from an explicit seed: the
+//! [`SplitMix64`] stream, the [`Zipfian`] rank draw, and the FNV
+//! scramble that spreads the hot ranks across the key space (and hence
+//! across shards). Two runs with the same seed issue the same ops in
+//! the same order, so a benchmark result names its seed and becomes
+//! reproducible.
+
+/// Deterministic 64-bit RNG (splitmix64): one multiply-shift-xor chain
+/// per draw, no state beyond a counter. The same generator the fault
+/// shim uses for its per-link decision streams.
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded at `seed` (all seeds valid, including 0).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias at 2^64 / n is far below anything a latency
+        // histogram can resolve; keep the draw branch-free.
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a on 8 bytes — the scramble that turns a Zipfian *rank* into a
+/// key index, so the hottest keys land on unrelated shards instead of
+/// clustering at the low indices.
+fn fnv1a64(x: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// YCSB's Zipfian rank generator (Gray et al.'s rejection-free inverse
+/// transform): rank 0 is the hottest item, with popularity falling off
+/// as `1 / rank^theta`. The YCSB default `theta = 0.99` gives the
+/// classic hot-spot workload where ~10% of keys absorb most traffic.
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+/// Generalized harmonic number `H_{n,theta}` (the normalizer).
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// The YCSB default skew.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    /// A distribution over `items` ranks with skew `theta` in (0, 1).
+    /// Computing the normalizer is O(items) — done once per workload.
+    pub fn new(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "zipfian over an empty key space");
+        let zetan = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        Zipfian {
+            items,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            zeta2,
+        }
+    }
+
+    /// Draw a rank in `[0, items)`; rank 0 is the most popular.
+    pub fn next_rank(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+}
+
+/// How a workload picks keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyDist {
+    /// YCSB Zipfian (`theta = 0.99`), scrambled over the key space.
+    Zipfian,
+    /// Every key equally likely.
+    Uniform,
+}
+
+/// A seeded key chooser over `[0, items)` under one [`KeyDist`].
+pub struct KeyChooser {
+    items: u64,
+    dist: KeyDist,
+    zipf: Option<Zipfian>,
+    rng: SplitMix64,
+}
+
+impl KeyChooser {
+    /// Build a chooser; the Zipfian normalizer is computed here.
+    pub fn new(items: u64, dist: KeyDist, seed: u64) -> KeyChooser {
+        KeyChooser {
+            items,
+            dist,
+            zipf: match dist {
+                KeyDist::Zipfian => Some(Zipfian::new(items, Zipfian::YCSB_THETA)),
+                KeyDist::Uniform => None,
+            },
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Next key index in `[0, items)`.
+    pub fn next_key(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => self.rng.below(self.items),
+            KeyDist::Zipfian => {
+                let rank = self.zipf.as_ref().expect("zipfian table").next_rank(&mut self.rng);
+                // Scramble so hot ranks spread across shards.
+                fnv1a64(rank) % self.items
+            }
+        }
+    }
+}
+
+/// The two op kinds the YCSB core mixes interleave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read of one key.
+    Read,
+    /// Full-value overwrite of one key.
+    Update,
+}
+
+/// One YCSB core mix: a name and its read percentage.
+#[derive(Clone, Copy, Debug)]
+pub struct MixSpec {
+    /// Workload name as it appears in the snapshot (`ycsb-a`, …).
+    pub name: &'static str,
+    /// Reads per 100 ops; the rest are updates.
+    pub read_pct: u32,
+}
+
+/// YCSB A: update-heavy, 50/50 read/update.
+pub const YCSB_A: MixSpec = MixSpec { name: "ycsb-a", read_pct: 50 };
+/// YCSB B: read-mostly, 95/5.
+pub const YCSB_B: MixSpec = MixSpec { name: "ycsb-b", read_pct: 95 };
+/// YCSB C: read-only.
+pub const YCSB_C: MixSpec = MixSpec { name: "ycsb-c", read_pct: 100 };
+
+/// Parse one workload token: `a` / `b` / `c` select the mix under
+/// Zipfian skew; an `-uniform` suffix (e.g. `a-uniform`) switches the
+/// key distribution.
+pub fn parse_workload(token: &str) -> Option<(MixSpec, KeyDist)> {
+    let t = token.trim().to_ascii_lowercase();
+    let (mix_part, dist) = match t.strip_suffix("-uniform") {
+        Some(m) => (m.to_string(), KeyDist::Uniform),
+        None => (t, KeyDist::Zipfian),
+    };
+    let mix = match mix_part.as_str() {
+        "a" | "ycsb-a" => YCSB_A,
+        "b" | "ycsb-b" => YCSB_B,
+        "c" | "ycsb-c" => YCSB_C,
+        _ => return None,
+    };
+    Some((mix, dist))
+}
+
+/// Draw the op kind for one step of `mix`.
+pub fn next_op(mix: MixSpec, rng: &mut SplitMix64) -> OpKind {
+    if rng.below(100) < u64::from(mix.read_pct) {
+        OpKind::Read
+    } else {
+        OpKind::Update
+    }
+}
+
+/// The canonical key encoding: `user<index>` like the YCSB row keys.
+pub fn key_of(index: u64) -> Vec<u8> {
+    format!("user{index}").into_bytes()
+}
+
+/// A deterministic value of `len` bytes, parameterized by key so
+/// read-back checks can recognize a correct image.
+pub fn value_of(index: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    let seed = index.to_le_bytes();
+    while v.len() < len {
+        let take = (len - v.len()).min(8);
+        v.extend_from_slice(&seed[..take]);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_full_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(c.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_bounds() {
+        let n = 10_000u64;
+        let z = Zipfian::new(n, Zipfian::YCSB_THETA);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = vec![0u64; n as usize];
+        let draws = 100_000;
+        for _ in 0..draws {
+            let r = z.next_rank(&mut rng);
+            assert!(r < n);
+            counts[r as usize] += 1;
+        }
+        let top10: u64 = counts[..10].iter().sum();
+        // theta=0.99 puts roughly a third of all traffic on the ten
+        // hottest ranks; assert well above what uniform would give.
+        assert!(
+            top10 > draws / 5,
+            "zipfian top-10 ranks got {top10} of {draws} draws — not skewed"
+        );
+        // Monotone-ish head: rank 0 strictly hottest.
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let mut k = KeyChooser::new(10_000, KeyDist::Uniform, 3);
+        let mut counts = vec![0u64; 10_000];
+        let draws = 100_000u64;
+        for _ in 0..draws {
+            counts[k.next_key() as usize] += 1;
+        }
+        let top10: u64 = counts[..10].iter().sum();
+        assert!(top10 < draws / 20, "uniform head got {top10} of {draws}");
+    }
+
+    #[test]
+    fn scramble_spreads_hot_keys() {
+        let mut k = KeyChooser::new(10_000, KeyDist::Zipfian, 9);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(k.next_key()).or_insert(0u64) += 1;
+        }
+        // The hottest scrambled key should NOT be index 0/1 with
+        // overwhelming probability (it is fnv(0) % n).
+        let hottest = counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k).unwrap();
+        assert_eq!(hottest, fnv1a64(0) % 10_000);
+        assert!(counts.keys().all(|&k| k < 10_000));
+    }
+
+    #[test]
+    fn mixes_parse_and_ratio_holds() {
+        assert_eq!(parse_workload("a").unwrap().0.read_pct, 50);
+        assert_eq!(parse_workload("B").unwrap().0.read_pct, 95);
+        assert_eq!(parse_workload("ycsb-c").unwrap().0.read_pct, 100);
+        assert_eq!(parse_workload("a-uniform").unwrap().1, KeyDist::Uniform);
+        assert_eq!(parse_workload("a").unwrap().1, KeyDist::Zipfian);
+        assert!(parse_workload("d").is_none());
+
+        let mut rng = SplitMix64::new(5);
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if next_op(YCSB_B, &mut rng) == OpKind::Read {
+                reads += 1;
+            }
+        }
+        // 95% ± noise.
+        assert!((9_300..=9_700).contains(&reads), "got {reads} reads");
+        let mut rng = SplitMix64::new(5);
+        assert!((0..10_000).all(|_| next_op(YCSB_C, &mut rng) == OpKind::Read));
+    }
+
+    #[test]
+    fn keys_and_values_are_stable() {
+        assert_eq!(key_of(17), b"user17".to_vec());
+        let v = value_of(3, 20);
+        assert_eq!(v.len(), 20);
+        assert_eq!(&v[..8], &3u64.to_le_bytes());
+        assert_eq!(value_of(3, 20), v);
+    }
+}

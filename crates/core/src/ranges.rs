@@ -107,6 +107,30 @@ pub mod fns {
     /// range.
     pub const PUBSUB_FN_END: u32 = 0x11F;
 
+    /// Read at a shard's primary (`chant-kv`): served locally under a
+    /// read lease, no replication round-trip.
+    pub const KV_GET: u32 = 0x120;
+    /// Mutation at a shard's primary: put/delete/add, deduplicated by
+    /// `(client, seq)` so a resubmitted op applies exactly once even
+    /// across a primary restart.
+    pub const KV_MUTATE: u32 = 0x121;
+    /// Primary→backup replication record: a post-image tagged with the
+    /// shard's monotonic version, idempotent under any replay.
+    pub const KV_REPLICATE: u32 = 0x122;
+    /// Read-lease grant/renewal from a shard's backup to its primary.
+    pub const KV_LEASE: u32 = 0x123;
+    /// Replication watermark query (applied vs backup-acked version).
+    pub const KV_FLUSH: u32 = 0x124;
+    /// Shard snapshot for recovery: the reply describes bytes staged in
+    /// the server's KV segment, fetched by the caller over `RMA_GET`.
+    pub const KV_SNAPSHOT: u32 = 0x125;
+    /// Shard digest (version, live count, content hash) for
+    /// primary/backup consistency checks.
+    pub const KV_DIGEST: u32 = 0x126;
+    /// Last code of the KV sub-range (inclusive); `chant-kv` owns
+    /// `KV_GET..=KV_FN_END` within the extension range.
+    pub const KV_FN_END: u32 = 0x12F;
+
     /// First function code available to user-registered RSR handlers.
     pub const USER_BASE: u32 = 1000;
 }
@@ -131,7 +155,15 @@ const _: () = {
     assert!(fns::RMA_COMPARE_SWAP <= fns::RMA_END);
     assert!(fns::RMA_END < fns::PUBSUB_SUBSCRIBE);
     assert!(fns::PUBSUB_SUBSCRIBE <= fns::PUBSUB_FN_END);
-    assert!(fns::PUBSUB_FN_END <= fns::EXT_END);
+    assert!(fns::PUBSUB_FN_END < fns::KV_GET);
+    assert!(fns::KV_GET < fns::KV_MUTATE);
+    assert!(fns::KV_MUTATE < fns::KV_REPLICATE);
+    assert!(fns::KV_REPLICATE < fns::KV_LEASE);
+    assert!(fns::KV_LEASE < fns::KV_FLUSH);
+    assert!(fns::KV_FLUSH < fns::KV_SNAPSHOT);
+    assert!(fns::KV_SNAPSHOT < fns::KV_DIGEST);
+    assert!(fns::KV_DIGEST <= fns::KV_FN_END);
+    assert!(fns::KV_FN_END <= fns::EXT_END);
     assert!(fns::EXT_END < fns::USER_BASE);
 };
 
@@ -222,5 +254,27 @@ mod tests {
         // Data and ack tags sit below the fault shim's control exemption:
         // pub-sub data must be lossy under an installed shim.
         const { assert!(tags::PUBSUB_END < tags::CONTROL_BASE) };
+    }
+
+    /// KV reservations: the fn sub-range nests inside the extension
+    /// range after pub-sub's without touching it, and every KV code
+    /// lands inside the sub-range.
+    #[test]
+    fn kv_reservations_fit_their_ranges() {
+        const { assert!(fns::PUBSUB_FN_END < fns::KV_GET) };
+        const { assert!(fns::RMA_END < fns::KV_GET) };
+        for f in [
+            fns::KV_GET,
+            fns::KV_MUTATE,
+            fns::KV_REPLICATE,
+            fns::KV_LEASE,
+            fns::KV_FLUSH,
+            fns::KV_SNAPSHOT,
+            fns::KV_DIGEST,
+        ] {
+            assert!((fns::KV_GET..=fns::KV_FN_END).contains(&f));
+            assert!((fns::EXT_BASE..=fns::EXT_END).contains(&f));
+        }
+        const { assert!(fns::KV_FN_END <= fns::EXT_END) };
     }
 }

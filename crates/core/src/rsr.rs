@@ -161,8 +161,8 @@ pub struct RsrStatsSnapshot {
 /// policy, and the server's dedup window.
 pub(crate) struct RsrState {
     token: AtomicU32,
-    /// Request sequence allocator; starts at 1 (0 marks pre-seq traffic,
-    /// exempt from dedup).
+    /// Request sequence allocator; seeded per process incarnation (0
+    /// marks pre-seq traffic, exempt from dedup). See [`boot_seq`].
     seq: AtomicU64,
     pub(crate) retry: Option<RetryPolicy>,
     /// Per-client dedup window size (entries per client node).
@@ -176,7 +176,7 @@ impl RsrState {
     pub fn new(retry: Option<RetryPolicy>, window: usize) -> RsrState {
         RsrState {
             token: AtomicU32::new(0),
-            seq: AtomicU64::new(1),
+            seq: AtomicU64::new(boot_seq()),
             retry,
             window: window.max(1),
             dedup: Mutex::new(HashMap::new()),
@@ -196,7 +196,26 @@ impl RsrState {
     pub fn next_seq(&self) -> u64 {
         self.seq.fetch_add(1, Ordering::Relaxed)
     }
+}
 
+/// First request sequence number of this process incarnation: the boot
+/// wall clock in nanoseconds. A restarted process reuses its dead
+/// predecessor's `Address`, and the peers' dedup windows still hold
+/// `(address, seq)` entries from before the crash — restarting the
+/// allocator at 1 would replay the old incarnation's cached replies to
+/// the new incarnation's fresh requests. A boot-time seed keeps the
+/// sequence space monotonic across restarts, so a reincarnated node's
+/// requests are always new to every surviving dedup window (the old
+/// low-seq entries age out of the bounded window as usual).
+fn boot_seq() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        .max(1)
+}
+
+impl RsrState {
     /// Server side: classify an incoming request against the dedup
     /// window, registering fresh sequence numbers as in flight.
     pub fn dedup_begin(&self, client: Address, seq: u64) -> DedupVerdict {
@@ -313,6 +332,17 @@ impl ChantNode {
     pub fn rsr_call(&self, dst: Address, fn_id: u32, args: &[u8]) -> Result<Bytes, ChantError> {
         let call = self.rsr_icall(dst, fn_id, args)?;
         self.rsr_wait(&call)
+    }
+
+    /// The cluster's installed [`RetryPolicy`], if any (see
+    /// [`crate::ClusterBuilder::rsr_retry`]). Runtime services built on
+    /// RSR consult it to pick a call discipline: with a policy
+    /// installed, [`ChantNode::rsr_call`] is bounded and safe against a
+    /// dead peer; without one, a service daemon that must never wedge
+    /// should fall back to [`ChantNode::rsr_icall`] plus
+    /// [`ChantNode::rsr_wait_deadline`].
+    pub fn rsr_retry_policy(&self) -> Option<RetryPolicy> {
+        self.rsr.retry.clone()
     }
 
     /// Issue a remote service request without waiting for its reply: the

@@ -1,0 +1,525 @@
+//! KV wire codecs: little-endian, length-prefixed, total.
+//!
+//! Every record decodes with [`chant_core::wire::Reader`]'s bounds
+//! checks — truncated or corrupt bytes come back as
+//! [`ChantError::Wire`], never a panic — and the proptest battery at
+//! the bottom holds the codecs to roundtrip and totality the same way
+//! the core RSR envelopes are held.
+//!
+//! Service-level outcomes (`NOT_FOUND`, `RETRY`, `NO_LEASE`, …) are a
+//! status byte *inside* a successful RSR reply, not transport errors:
+//! the transport error space keeps meaning "the call may not have
+//! executed", while a KV status always means "the primary spoke".
+
+use bytes::Bytes;
+use chant_core::wire::{Reader, Writer};
+use chant_core::ChantError;
+
+/// KV reply status codes (first byte of every KV reply).
+pub mod status {
+    /// The operation was applied / the value is present.
+    pub const OK: u8 = 0;
+    /// Read of an absent (or deleted) key.
+    pub const NOT_FOUND: u8 = 1;
+    /// The shard is not serving yet (recovery in progress); resubmit.
+    pub const RETRY: u8 = 2;
+    /// The primary's read lease lapsed; reads are refused until renewal.
+    pub const NO_LEASE: u8 = 3;
+    /// The addressed node does not hold the expected role for the shard.
+    pub const NOT_PRIMARY: u8 = 4;
+    /// The `(client, seq)` is older than the client's applied watermark.
+    pub const STALE: u8 = 5;
+    /// The value exceeds the configured maximum.
+    pub const TOO_LARGE: u8 = 6;
+}
+
+/// Mutation opcodes.
+pub mod op {
+    /// Store the value.
+    pub const PUT: u8 = 0;
+    /// Delete the key (a tombstone under the shard version).
+    pub const DEL: u8 = 1;
+    /// Interpret the value as a little-endian `u64` counter and add the
+    /// 8-byte delta; replies with the new value.
+    pub const ADD: u8 = 2;
+}
+
+fn truncated(what: &'static str) -> ChantError {
+    ChantError::Wire(format!("kv: malformed {what}"))
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+/// `KV_MUTATE` arguments: one client mutation addressed to a shard's
+/// primary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateArgs {
+    /// Target shard.
+    pub shard: u32,
+    /// Issuing client id (unique per cluster).
+    pub client: u64,
+    /// The client's op sequence number — resubmitted verbatim on
+    /// timeout, which is what makes the op exactly-once across a
+    /// primary restart.
+    pub seq: u64,
+    /// One of [`op`].
+    pub opcode: u8,
+    /// Key bytes.
+    pub key: Bytes,
+    /// Value bytes (PUT), 8-byte delta (ADD), empty (DEL).
+    pub val: Bytes,
+}
+
+/// Encode [`MutateArgs`].
+pub fn encode_mutate(a: &MutateArgs) -> Bytes {
+    Writer::new()
+        .u32(a.shard)
+        .u64(a.client)
+        .u64(a.seq)
+        .u8(a.opcode)
+        .bytes(&a.key)
+        .bytes(&a.val)
+        .finish()
+}
+
+/// Decode [`MutateArgs`].
+pub fn decode_mutate(buf: &[u8]) -> Result<MutateArgs, ChantError> {
+    let mut r = Reader::new(buf);
+    let out = MutateArgs {
+        shard: r.u32().map_err(|_| truncated("mutate"))?,
+        client: r.u64().map_err(|_| truncated("mutate"))?,
+        seq: r.u64().map_err(|_| truncated("mutate"))?,
+        opcode: r.u8().map_err(|_| truncated("mutate"))?,
+        key: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("mutate"))?),
+        val: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("mutate"))?),
+    };
+    Ok(out)
+}
+
+/// `KV_GET` arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetArgs {
+    /// Target shard (the client computed it; the primary re-checks).
+    pub shard: u32,
+    /// Key bytes.
+    pub key: Bytes,
+}
+
+/// Encode [`GetArgs`].
+pub fn encode_get(a: &GetArgs) -> Bytes {
+    Writer::new().u32(a.shard).bytes(&a.key).finish()
+}
+
+/// Decode [`GetArgs`].
+pub fn decode_get(buf: &[u8]) -> Result<GetArgs, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(GetArgs {
+        shard: r.u32().map_err(|_| truncated("get"))?,
+        key: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("get"))?),
+    })
+}
+
+/// `KV_REPLICATE` arguments: one applied mutation's post-image plus the
+/// dedup watermark it established, shipped primary→backup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplArgs {
+    /// Shard the record belongs to.
+    pub shard: u32,
+    /// The shard version the primary assigned this mutation.
+    pub ver: u64,
+    /// Issuing client and sequence (the replicated dedup watermark).
+    pub client: u64,
+    /// See `client`.
+    pub seq: u64,
+    /// Tombstone marker (the post-image of a DEL).
+    pub tomb: bool,
+    /// Whether the value rides inline; if not, it was staged into the
+    /// backup's [`crate::KV_SEG`] at `(off, len)` by one-sided put.
+    pub inline: bool,
+    /// Staged-value offset in the backup's segment (`inline == false`).
+    pub off: u64,
+    /// Staged-value length (`inline == false`).
+    pub len: u64,
+    /// Key bytes.
+    pub key: Bytes,
+    /// The cached reply for `(client, seq)` — replayed to a resubmitted
+    /// op after failover.
+    pub reply: Bytes,
+    /// Inline post-image value (`inline == true`, non-tombstone).
+    pub val: Bytes,
+}
+
+/// Encode [`ReplArgs`].
+pub fn encode_repl(a: &ReplArgs) -> Bytes {
+    Writer::new()
+        .u32(a.shard)
+        .u64(a.ver)
+        .u64(a.client)
+        .u64(a.seq)
+        .u8(u8::from(a.tomb))
+        .u8(u8::from(a.inline))
+        .u64(a.off)
+        .u64(a.len)
+        .bytes(&a.key)
+        .bytes(&a.reply)
+        .bytes(&a.val)
+        .finish()
+}
+
+/// Decode [`ReplArgs`].
+pub fn decode_repl(buf: &[u8]) -> Result<ReplArgs, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(ReplArgs {
+        shard: r.u32().map_err(|_| truncated("replicate"))?,
+        ver: r.u64().map_err(|_| truncated("replicate"))?,
+        client: r.u64().map_err(|_| truncated("replicate"))?,
+        seq: r.u64().map_err(|_| truncated("replicate"))?,
+        tomb: r.u8().map_err(|_| truncated("replicate"))? != 0,
+        inline: r.u8().map_err(|_| truncated("replicate"))? != 0,
+        off: r.u64().map_err(|_| truncated("replicate"))?,
+        len: r.u64().map_err(|_| truncated("replicate"))?,
+        key: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("replicate"))?),
+        reply: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("replicate"))?),
+        val: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("replicate"))?),
+    })
+}
+
+/// `KV_LEASE` arguments: the primary asks the backup for a read lease.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseArgs {
+    /// Shard the lease covers.
+    pub shard: u32,
+    /// Requested lease duration in milliseconds.
+    pub ttl_ms: u32,
+}
+
+/// Encode [`LeaseArgs`].
+pub fn encode_lease(a: &LeaseArgs) -> Bytes {
+    Writer::new().u32(a.shard).u32(a.ttl_ms).finish()
+}
+
+/// Decode [`LeaseArgs`].
+pub fn decode_lease(buf: &[u8]) -> Result<LeaseArgs, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(LeaseArgs {
+        shard: r.u32().map_err(|_| truncated("lease"))?,
+        ttl_ms: r.u32().map_err(|_| truncated("lease"))?,
+    })
+}
+
+/// `KV_FLUSH` / `KV_SNAPSHOT` / `KV_DIGEST` all address one shard; the
+/// snapshot adds a part index for paginated transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardArgs {
+    /// Target shard.
+    pub shard: u32,
+    /// Snapshot part index (0 re-serializes; others slice the stash).
+    pub part: u32,
+}
+
+/// Encode [`ShardArgs`].
+pub fn encode_shard_args(a: &ShardArgs) -> Bytes {
+    Writer::new().u32(a.shard).u32(a.part).finish()
+}
+
+/// Decode [`ShardArgs`].
+pub fn decode_shard_args(buf: &[u8]) -> Result<ShardArgs, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(ShardArgs {
+        shard: r.u32().map_err(|_| truncated("shard args"))?,
+        part: r.u32().map_err(|_| truncated("shard args"))?,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Replies
+// ----------------------------------------------------------------------
+
+/// The generic KV reply: a status, the shard (or entry) version the
+/// statement is about, and optional value bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvReply {
+    /// One of [`status`].
+    pub status: u8,
+    /// Entry version (GET hit), assigned shard version (mutation), or
+    /// backup shard version (replicate).
+    pub ver: u64,
+    /// Value bytes (GET hit), new counter value (ADD), else empty.
+    pub val: Bytes,
+}
+
+/// Encode [`KvReply`].
+pub fn encode_reply(r: &KvReply) -> Bytes {
+    Writer::new().u8(r.status).u64(r.ver).bytes(&r.val).finish()
+}
+
+/// Decode [`KvReply`].
+pub fn decode_reply(buf: &[u8]) -> Result<KvReply, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(KvReply {
+        status: r.u8().map_err(|_| truncated("reply"))?,
+        ver: r.u64().map_err(|_| truncated("reply"))?,
+        val: Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("reply"))?),
+    })
+}
+
+/// `KV_FLUSH` reply: the primary's applied and backup-acknowledged
+/// watermarks for the shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushReply {
+    /// One of [`status`].
+    pub status: u8,
+    /// Highest version applied at the primary.
+    pub version: u64,
+    /// Highest version acknowledged by the backup.
+    pub replicated: u64,
+}
+
+/// Encode [`FlushReply`].
+pub fn encode_flush_reply(f: &FlushReply) -> Bytes {
+    Writer::new()
+        .u8(f.status)
+        .u64(f.version)
+        .u64(f.replicated)
+        .finish()
+}
+
+/// Decode [`FlushReply`].
+pub fn decode_flush_reply(buf: &[u8]) -> Result<FlushReply, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(FlushReply {
+        status: r.u8().map_err(|_| truncated("flush reply"))?,
+        version: r.u64().map_err(|_| truncated("flush reply"))?,
+        replicated: r.u64().map_err(|_| truncated("flush reply"))?,
+    })
+}
+
+/// `KV_SNAPSHOT` reply: one part of the shard snapshot, staged in the
+/// server's [`crate::KV_SEG`] for the caller to fetch with `rma_get`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapReply {
+    /// One of [`status`].
+    pub status: u8,
+    /// Shard version the (whole) snapshot captures.
+    pub ver: u64,
+    /// Offset of this part in the server's segment.
+    pub off: u64,
+    /// Length of this part in bytes.
+    pub len: u64,
+    /// Whether this is the final part.
+    pub done: bool,
+}
+
+/// Encode [`SnapReply`].
+pub fn encode_snap_reply(s: &SnapReply) -> Bytes {
+    Writer::new()
+        .u8(s.status)
+        .u64(s.ver)
+        .u64(s.off)
+        .u64(s.len)
+        .u8(u8::from(s.done))
+        .finish()
+}
+
+/// Decode [`SnapReply`].
+pub fn decode_snap_reply(buf: &[u8]) -> Result<SnapReply, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(SnapReply {
+        status: r.u8().map_err(|_| truncated("snap reply"))?,
+        ver: r.u64().map_err(|_| truncated("snap reply"))?,
+        off: r.u64().map_err(|_| truncated("snap reply"))?,
+        len: r.u64().map_err(|_| truncated("snap reply"))?,
+        done: r.u8().map_err(|_| truncated("snap reply"))? != 0,
+    })
+}
+
+/// `KV_DIGEST` reply: an order-independent content summary for
+/// primary/backup consistency checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DigestReply {
+    /// Shard version.
+    pub ver: u64,
+    /// Number of entries (tombstones included).
+    pub count: u64,
+    /// XOR-fold over per-entry hashes.
+    pub digest: u64,
+}
+
+/// Encode [`DigestReply`].
+pub fn encode_digest_reply(d: &DigestReply) -> Bytes {
+    Writer::new()
+        .u64(d.ver)
+        .u64(d.count)
+        .u64(d.digest)
+        .finish()
+}
+
+/// Decode [`DigestReply`].
+pub fn decode_digest_reply(buf: &[u8]) -> Result<DigestReply, ChantError> {
+    let mut r = Reader::new(buf);
+    Ok(DigestReply {
+        ver: r.u64().map_err(|_| truncated("digest reply"))?,
+        count: r.u64().map_err(|_| truncated("digest reply"))?,
+        digest: r.u64().map_err(|_| truncated("digest reply"))?,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Snapshot blob
+// ----------------------------------------------------------------------
+
+/// A whole-shard snapshot: entries, the per-client dedup watermarks,
+/// and the shard version — everything a re-seeded owner needs to serve
+/// (and to keep refusing replayed mutations) as if it never died.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotBlob {
+    /// Shard version at capture.
+    pub ver: u64,
+    /// `(key, entry version, tombstone, value)` per entry.
+    pub entries: Vec<(Bytes, u64, bool, Bytes)>,
+    /// `(client, seq, cached reply)` per client watermark.
+    pub clients: Vec<(u64, u64, Bytes)>,
+}
+
+/// Encode a [`SnapshotBlob`].
+pub fn encode_snapshot(s: &SnapshotBlob) -> Bytes {
+    let mut w = Writer::new()
+        .u64(s.ver)
+        .u32(s.entries.len() as u32);
+    for (key, ver, tomb, val) in &s.entries {
+        w = w.bytes(key).u64(*ver).u8(u8::from(*tomb)).bytes(val);
+    }
+    w = w.u32(s.clients.len() as u32);
+    for (client, seq, reply) in &s.clients {
+        w = w.u64(*client).u64(*seq).bytes(reply);
+    }
+    w.finish()
+}
+
+/// Decode a [`SnapshotBlob`].
+pub fn decode_snapshot(buf: &[u8]) -> Result<SnapshotBlob, ChantError> {
+    let mut r = Reader::new(buf);
+    let ver = r.u64().map_err(|_| truncated("snapshot"))?;
+    let n = r.u32().map_err(|_| truncated("snapshot"))?;
+    // Cap pre-allocation by what the buffer could possibly hold (each
+    // entry is ≥ 17 bytes encoded) so corrupt counts cannot balloon.
+    let mut entries = Vec::with_capacity((n as usize).min(buf.len() / 17 + 1));
+    for _ in 0..n {
+        let key = Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("snapshot"))?);
+        let ver = r.u64().map_err(|_| truncated("snapshot"))?;
+        let tomb = r.u8().map_err(|_| truncated("snapshot"))? != 0;
+        let val = Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("snapshot"))?);
+        entries.push((key, ver, tomb, val));
+    }
+    let n = r.u32().map_err(|_| truncated("snapshot"))?;
+    let mut clients = Vec::with_capacity((n as usize).min(buf.len() / 20 + 1));
+    for _ in 0..n {
+        let client = r.u64().map_err(|_| truncated("snapshot"))?;
+        let seq = r.u64().map_err(|_| truncated("snapshot"))?;
+        let reply = Bytes::copy_from_slice(r.bytes().map_err(|_| truncated("snapshot"))?);
+        clients.push((client, seq, reply));
+    }
+    Ok(SnapshotBlob {
+        ver,
+        entries,
+        clients,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(v: Vec<u8>) -> Bytes {
+        Bytes::from(v)
+    }
+
+    proptest! {
+        #[test]
+        fn mutate_roundtrips(shard in any::<u32>(), client in any::<u64>(), seq in any::<u64>(),
+                             opcode in 0u8..3, key in proptest::collection::vec(any::<u8>(), 0..64),
+                             val in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let a = MutateArgs { shard, client, seq, opcode, key: b(key), val: b(val) };
+            prop_assert_eq!(decode_mutate(&encode_mutate(&a)).unwrap(), a);
+        }
+
+        #[test]
+        fn repl_roundtrips(ids in (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                           tomb in any::<bool>(), inline in any::<bool>(),
+                           span in (any::<u64>(), any::<u64>()),
+                           key in proptest::collection::vec(any::<u8>(), 0..64),
+                           reply in proptest::collection::vec(any::<u8>(), 0..32),
+                           val in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let (shard, ver, client, seq) = ids;
+            let (off, len) = span;
+            let a = ReplArgs { shard, ver, client, seq, tomb, inline, off, len,
+                               key: b(key), reply: b(reply), val: b(val) };
+            prop_assert_eq!(decode_repl(&encode_repl(&a)).unwrap(), a);
+        }
+
+        #[test]
+        fn small_records_roundtrip(shard in any::<u32>(), x in any::<u32>(), v in any::<u64>(),
+                                   w in any::<u64>(), z in any::<u64>(), f in any::<bool>()) {
+            let g = GetArgs { shard, key: b(v.to_le_bytes().to_vec()) };
+            prop_assert_eq!(decode_get(&encode_get(&g)).unwrap(), g);
+            let l = LeaseArgs { shard, ttl_ms: x };
+            prop_assert_eq!(decode_lease(&encode_lease(&l)).unwrap(), l);
+            let s = ShardArgs { shard, part: x };
+            prop_assert_eq!(decode_shard_args(&encode_shard_args(&s)).unwrap(), s);
+            let r = KvReply { status: (x % 7) as u8, ver: v, val: b(w.to_le_bytes().to_vec()) };
+            prop_assert_eq!(decode_reply(&encode_reply(&r)).unwrap(), r);
+            let fl = FlushReply { status: (x % 7) as u8, version: v, replicated: w };
+            prop_assert_eq!(decode_flush_reply(&encode_flush_reply(&fl)).unwrap(), fl);
+            let sr = SnapReply { status: (x % 7) as u8, ver: v, off: w, len: z, done: f };
+            prop_assert_eq!(decode_snap_reply(&encode_snap_reply(&sr)).unwrap(), sr);
+            let d = DigestReply { ver: v, count: w, digest: z };
+            prop_assert_eq!(decode_digest_reply(&encode_digest_reply(&d)).unwrap(), d);
+        }
+
+        #[test]
+        fn snapshot_roundtrips(ver in any::<u64>(),
+                               entries in proptest::collection::vec(
+                                   (proptest::collection::vec(any::<u8>(), 0..16), any::<u64>(),
+                                    any::<bool>(), proptest::collection::vec(any::<u8>(), 0..32)), 0..8),
+                               clients in proptest::collection::vec(
+                                   (any::<u64>(), any::<u64>(),
+                                    proptest::collection::vec(any::<u8>(), 0..16)), 0..8)) {
+            let s = SnapshotBlob {
+                ver,
+                entries: entries.into_iter().map(|(k, v, t, val)| (b(k), v, t, b(val))).collect(),
+                clients: clients.into_iter().map(|(c, q, r)| (c, q, b(r))).collect(),
+            };
+            prop_assert_eq!(decode_snapshot(&encode_snapshot(&s)).unwrap(), s);
+        }
+
+        #[test]
+        fn decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // No decoder may panic on arbitrary input; errors only.
+            let _ = decode_mutate(&bytes);
+            let _ = decode_get(&bytes);
+            let _ = decode_repl(&bytes);
+            let _ = decode_lease(&bytes);
+            let _ = decode_shard_args(&bytes);
+            let _ = decode_reply(&bytes);
+            let _ = decode_flush_reply(&bytes);
+            let _ = decode_snap_reply(&bytes);
+            let _ = decode_digest_reply(&bytes);
+            let _ = decode_snapshot(&bytes);
+        }
+
+        #[test]
+        fn truncation_always_errors(seq in any::<u64>(), cut in 0usize..32) {
+            let a = MutateArgs {
+                shard: 7, client: 9, seq, opcode: op::PUT,
+                key: b(vec![1, 2, 3]), val: b(vec![4; 10]),
+            };
+            let enc = encode_mutate(&a);
+            if cut < enc.len() {
+                prop_assert!(decode_mutate(&enc[..cut]).is_err());
+            }
+        }
+    }
+}

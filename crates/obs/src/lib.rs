@@ -37,7 +37,7 @@ pub mod tracer;
 
 pub use clock::{estimate_offset, ClockEstimate, ClockSample};
 pub use event::{trace_id, Event, FaultKind, LaneTrace, TimedEvent};
-pub use metrics::{registry, Counter, Histogram, MetricsRegistry};
+pub use metrics::{registry, Counter, Histogram, MetricsRegistry, Percentiles};
 pub use tracer::{LaneHandle, RingMode};
 
 /// What [`check_balance`] tallied over one lane.

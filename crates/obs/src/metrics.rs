@@ -158,6 +158,72 @@ impl HistogramSnapshot {
         }
         bucket_upper_bound(HIST_BUCKETS - 1)
     }
+
+    /// The `q`-quantile with linear interpolation inside the bucket
+    /// containing it: where the quantile rank falls k-th of n
+    /// observations into bucket `[lo, hi]`, the estimate is
+    /// `lo + (hi - lo) · k/n`. Still bounded by the log₂ bucket width,
+    /// but unbiased within it — the right call for reporting latency
+    /// percentiles rather than attributing them to a power of two.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && seen + c >= rank {
+                let hi = bucket_upper_bound(i);
+                let lo = if i == 0 { 0 } else { bucket_upper_bound(i - 1) };
+                let into = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * into).round() as u64;
+            }
+            seen += c;
+        }
+        bucket_upper_bound(HIST_BUCKETS - 1)
+    }
+
+    /// The standard reporting percentiles in one extraction — the
+    /// single source loadgen bins and `chant_top` read instead of each
+    /// re-deriving quantiles from raw buckets.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile_interpolated(0.50),
+            p90: self.quantile_interpolated(0.90),
+            p99: self.quantile_interpolated(0.99),
+            p999: self.quantile_interpolated(0.999),
+        }
+    }
+
+    /// Fold another snapshot into this one bucket-by-bucket: the merge
+    /// of two histograms is exact (unlike merging percentiles), so
+    /// cross-rank aggregation ships snapshots and extracts
+    /// [`HistogramSnapshot::percentiles`] once at the end.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// The standard latency percentiles of one histogram (see
+/// [`HistogramSnapshot::percentiles`]). Values carry the histogram's
+/// unit (the runtime records nanoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 /// A named collection of counters and histograms.
@@ -276,6 +342,57 @@ mod tests {
         assert_eq!(s.quantile(0.5), 8);
         assert_eq!(s.quantile(1.0), 8192);
         assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_and_percentiles() {
+        // 1000 observations spread uniformly over one bucket [1024, 2048):
+        // interpolation should land each percentile proportionally into
+        // the bucket instead of pinning all of them to 2048.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2048, "bucket-bound quantile is coarse");
+        let p = s.percentiles();
+        assert!(p.p50 > 1024 && p.p50 < p.p90, "{p:?}");
+        assert!(p.p90 < p.p99 && p.p99 < p.p999 && p.p999 <= 2048, "{p:?}");
+        // A bimodal distribution: 99 fast ops, 1 slow one. p50 stays in
+        // the fast bucket, p999 reaches the slow one.
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        let p = s.percentiles();
+        assert!(p.p50 <= 16, "{p:?}");
+        assert!(p.p999 > 500_000, "{p:?}");
+        assert_eq!(HistogramSnapshot::default().percentiles(), Percentiles::default());
+    }
+
+    #[test]
+    fn snapshot_merge_is_bucketwise_exact() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let whole = Histogram::default();
+        for v in [3u64, 9, 100, 2000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [5u64, 70_000, 1] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        // Merging into an empty default snapshot (zero-length buckets)
+        // adopts the other side wholesale.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&whole.snapshot());
+        assert_eq!(empty, whole.snapshot());
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`pubsub`] — topic-based publish/subscribe with per-topic fan-out
 //!   trees over the transport, exactly-once subscription control, and
 //!   at-least-once deduplicated data delivery;
+//! * [`kv`] — a replicated, sharded key/value service: consistent-hash
+//!   placement, primary-backup replication over exactly-once remote
+//!   service requests, read leases, and crash recovery from the
+//!   surviving replica;
 //! * [`sim`] — the calibrated discrete-event simulator used to regenerate
 //!   the paper's tables and figures.
 //!
@@ -19,6 +23,7 @@
 
 pub use chant_comm as comm;
 pub use chant_core as chant;
+pub use chant_kv as kv;
 pub use chant_pubsub as pubsub;
 pub use chant_rma as rma;
 pub use chant_sim as sim;

@@ -58,6 +58,26 @@ impl Bytes {
             Repr::Shared(a) => a,
         }
     }
+
+    /// A new buffer holding `self[range]`. (The real crate shares the
+    /// allocation; the stand-in copies — same semantics, linear cost.)
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds, like slice indexing.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.as_slice()[start..end])
+    }
 }
 
 impl Default for Bytes {
@@ -105,6 +125,26 @@ impl PartialEq for Bytes {
     }
 }
 impl Eq for Bytes {}
+
+// Content hashing, consistent with `Eq` (two equal buffers hash alike
+// regardless of representation), so `Bytes` can key hash maps.
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
